@@ -1,0 +1,146 @@
+// Command cardbench regenerates the paper's tables and figures on the
+// synthetic workloads. Each experiment id maps to one table/figure of the
+// evaluation section; see DESIGN.md for the full index.
+//
+// Usage:
+//
+//	cardbench -exp table3            # Tables 3-6, 9, 10 on all 8 datasets
+//	cardbench -exp fig5 -full        # larger datasets / longer training
+//	cardbench -exp all               # everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cardnet/internal/bench"
+	"cardnet/internal/dataset"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id: datasets, fig1, table3, table7, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig13, fig14, table13, table14, mono, all")
+	full := flag.Bool("full", false, "run at larger scale (slower, closer to paper shape)")
+	n := flag.Int("n", 0, "override dataset size")
+	seed := flag.Int64("seed", 7, "random seed")
+	models := flag.String("models", "", "comma-separated model subset for fig7/fig9/fig10/table14/mono")
+	flag.Parse()
+
+	var modelList []string
+	if *models != "" {
+		modelList = strings.Split(*models, ",")
+	}
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.DefaultOptions()
+	opts.Seed = *seed
+	if *full {
+		opts.Quick = false
+	} else {
+		// Quick profile: shrink datasets so a laptop run finishes fast.
+		opts.NOverride = 1200
+	}
+	if *n > 0 {
+		opts.NOverride = *n
+	}
+
+	w := os.Stdout
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"datasets", "fig1", "table3", "table7", "fig5", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "table13", "table14", "mono"}
+	}
+	for _, id := range ids {
+		run(w, strings.TrimSpace(id), opts, modelList)
+	}
+}
+
+func run(w *os.File, id string, opts bench.Options, models []string) {
+	defaults := dataset.Defaults()
+	four := dataset.FourDefaults()
+	switch id {
+	case "datasets":
+		bench.RenderDatasetStats(w, append(defaults, dataset.HighDim()...))
+	case "fig1":
+		spec := dataset.DefaultsByName()["HM-ImageNet"]
+		if opts.NOverride > 0 {
+			spec.N = opts.NOverride
+		}
+		bench.RunFig1(w, spec, 5, spec.N/4)
+	case "table3", "table4", "table5", "table6", "table9", "table10":
+		res := bench.RunAccuracy(defaults, nil, opts)
+		bench.RenderAccuracyTables(w, res)
+	case "table7":
+		bench.RenderTable7(w, bench.RunTable7(four, opts))
+	case "fig5":
+		bench.RenderThresholdSeries(w, "Figure 5: accuracy vs threshold", bench.RunFig5(four, opts))
+	case "fig6":
+		specs := dataset.HighDim()
+		if opts.NOverride > 0 {
+			for i := range specs {
+				specs[i].N = opts.NOverride
+			}
+		}
+		taus := []int{8, 16, 32, 64}
+		bench.RenderFig6(w, bench.RunFig6(specs[:1], taus, opts))
+	case "fig7":
+		bench.RenderFig7(w, bench.RunFig7(four, nil, models, opts))
+	case "fig8":
+		spec := dataset.DefaultsByName()["HM-ImageNet"]
+		if opts.NOverride > 0 {
+			spec.N = opts.NOverride
+		}
+		o := opts
+		o.NOverride = 0
+		bench.RenderFig8(w, spec.Name, bench.RunFig8(spec, 40, 5, 10, o))
+	case "fig9":
+		bench.RenderFig9(w, "Figure 9: long-tail queries", bench.RunFig9(four, models, opts))
+	case "fig10":
+		bench.RenderFig9(w, "Figure 10: out-of-dataset queries", bench.RunFig10(four, models, opts))
+	case "fig11", "fig12":
+		specs := bench.DefaultConjSpecs()
+		if opts.NOverride > 0 {
+			for i := range specs {
+				specs[i].N = opts.NOverride
+			}
+		}
+		bench.RenderFig11(w, bench.RunFig11(specs, 60, opts))
+	case "fig13":
+		specs := dataset.GPHSpecs()
+		if opts.NOverride > 0 {
+			for i := range specs {
+				specs[i].N = opts.NOverride
+			}
+		}
+		var thetas []int
+		for _, s := range specs[:1] {
+			thetas = []int{int(s.ThetaMax) / 4, int(s.ThetaMax) / 2, 3 * int(s.ThetaMax) / 4, int(s.ThetaMax)}
+		}
+		bench.RenderFig13(w, bench.RunFig13(specs, 40, thetas, opts))
+	case "fig14":
+		spec := dataset.GPHSpecs()[0]
+		if opts.NOverride > 0 {
+			spec.N = opts.NOverride
+		}
+		bench.RenderFig14(w, bench.RunFig14(spec, 30, nil, opts))
+	case "table13":
+		bench.RenderTable13(w, defaults, 400)
+	case "table14", "table15", "table16":
+		bench.RenderPolicies(w, bench.RunPolicies(four, models, nil, opts))
+	case "mono":
+		bench.RenderMonotonicity(w, four, models, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		known := []string{"datasets", "fig1", "table3", "table7", "fig5", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "table13", "table14", "mono", "all"}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "known: %s\n", strings.Join(known, ", "))
+		os.Exit(2)
+	}
+}

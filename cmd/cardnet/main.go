@@ -1,0 +1,114 @@
+// Command cardnet trains a CardNet/CardNet-A estimator on a generated
+// workload, saves it to disk, and answers estimation queries — a minimal
+// operational loop around the library.
+//
+// Usage:
+//
+//	cardnet -mode train -dataset HM-ImageNet -out model.gob
+//	cardnet -mode estimate -dataset HM-ImageNet -model model.gob -queries 20
+//	cardnet -mode update -dataset HM-ImageNet -model model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cardnet/internal/bench"
+	"cardnet/internal/core"
+	"cardnet/internal/dataset"
+	"cardnet/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "train", "train | estimate | update")
+	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
+	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update, output for train)")
+	n := flag.Int("n", 1200, "dataset size")
+	accel := flag.Bool("accel", true, "use the accelerated CardNet-A encoder")
+	queries := flag.Int("queries", 10, "estimate: number of test queries to answer")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	spec, ok := dataset.DefaultsByName()[*dsName]
+	if !ok {
+		log.Fatalf("unknown dataset %q; known: HM-ImageNet, HM-PubChem, ED-AMiner, ED-DBLP, JC-BMS, JC-DBLPq3, EU-Glove300, EU-Glove50", *dsName)
+	}
+	opts := bench.DefaultOptions()
+	opts.Seed = *seed
+	opts.NOverride = *n
+	suite := bench.BuildSuite(spec, opts)
+	b := suite.Bundle
+
+	switch *mode {
+	case "train":
+		cfg := core.DefaultConfig(b.TauMax)
+		cfg.Accel = *accel
+		cfg.Seed = *seed
+		m := core.New(cfg, b.Train.X.Cols)
+		res := m.Train(b.Train, b.Valid)
+		log.Printf("trained %d epochs, best validation MSLE %.4f, model %d KB",
+			res.Epochs, res.BestValidMSLE, m.SizeBytes()/1024)
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved to %s", *modelPath)
+	case "estimate":
+		m := load(*modelPath)
+		var actual, est []float64
+		shown := 0
+		for _, p := range b.Points {
+			v := m.EstimateEncoded(b.TestX.Row(p.Query), p.Tau)
+			actual = append(actual, p.Actual)
+			est = append(est, v)
+			if shown < *queries {
+				fmt.Printf("query %3d  theta=%6.3f  actual=%6.0f  estimate=%8.1f\n",
+					p.Query, p.Theta, p.Actual, v)
+				shown++
+			}
+		}
+		fmt.Println(metrics.Evaluate(actual, est))
+	case "update":
+		m := load(*modelPath)
+		// Relabel against a perturbed dataset (fresh seed) and incrementally
+		// retrain, then report the validation error trajectory.
+		spec2 := spec
+		spec2.Seed += 31
+		opts2 := opts
+		opts2.Seed += 31
+		suite2 := bench.BuildSuite(spec2, opts2)
+		res := m.IncrementalTrain(suite2.Bundle.Train, suite2.Bundle.Valid, 0)
+		log.Printf("incremental learning: %d epochs, validation MSLE %.4f (skipped=%v)",
+			res.Epochs, res.ValidMSLE, res.Skipped)
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func load(path string) *core.Model {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open model: %v (train first)", err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		log.Fatalf("load model: %v", err)
+	}
+	return m
+}

@@ -1,0 +1,25 @@
+// Package cardnet is a from-scratch Go reproduction of "Monotonic
+// Cardinality Estimation of Similarity Selection: A Deep Learning Approach"
+// (Wang et al., SIGMOD 2020).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the CardNet / CardNet-A estimator (the paper's
+//     contribution): incremental per-distance decoders over a VAE-augmented
+//     encoder, monotone in the threshold by construction.
+//   - internal/feature — feature extraction for Hamming, edit, Jaccard and
+//     Euclidean distances (Section 4 case studies).
+//   - internal/simselect — exact similarity-selection algorithms used for
+//     label generation and as the SimSelect baseline.
+//   - internal/nn, internal/tensor, internal/gbdt — the from-scratch deep
+//     learning and boosted-tree substrates.
+//   - internal/baselines — every competitor model of Section 9.1.2.
+//   - internal/optimizer — the query-optimizer case studies (Section 9.11).
+//   - internal/dataset, internal/metrics, internal/bench — synthetic
+//     workloads, evaluation metrics, and the experiment harness.
+//
+// Entry points: cmd/cardbench regenerates every table and figure;
+// cmd/cardnet is a train/estimate/update loop; examples/ shows library use.
+// The benchmarks in bench_test.go map one-to-one onto the paper's tables and
+// figures.
+package cardnet

@@ -1,0 +1,3 @@
+module cardnet
+
+go 1.22

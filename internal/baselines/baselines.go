@@ -1,0 +1,89 @@
+// Package baselines implements every competitor model of the paper's
+// evaluation (Section 9.1.2):
+//
+//   - database methods: DB-SE (one specialized estimator per distance:
+//     dimension-partition histogram for HM, q-gram inverted index for ED, a
+//     frequency/power-law semi-lattice for JC, LSH-bucket sampling for EU)
+//     and DB-US (uniform record sampling);
+//   - traditional learning: TL-XGB and TL-LGBM (gradient-boosted trees via
+//     internal/gbdt, with a monotone constraint on the threshold feature)
+//     and TL-KDE (a Gaussian-kernel estimator over sampled distances);
+//   - deep learning: DL-DNN (one vanilla FNN on [x;τ]), DL-DNNsτ (τmax+1
+//     independent FNNs, one per τ), DL-MoE (sparse mixture of experts),
+//     DL-RMI (two-stage recursive-model index), and DL-DLN (a calibrated
+//     monotonic lattice ensemble).
+//
+// Vector models consume the same prepared core.TrainSet as CardNet; record
+// models (DB-*, TL-KDE) see original records and a distance function, like
+// their counterparts in the paper.
+package baselines
+
+import (
+	"math"
+
+	"cardnet/internal/core"
+)
+
+// VectorModel is an estimator over encoded feature vectors and transformed
+// thresholds. CardNet's TrainSet is the shared training format.
+type VectorModel interface {
+	Name() string
+	Fit(train, valid *core.TrainSet)
+	Estimate(x []float64, tau int) float64
+	SizeBytes() int
+}
+
+// RecordEstimator estimates cardinality directly from a record and an
+// original-space threshold.
+type RecordEstimator[R any] interface {
+	Name() string
+	Estimate(q R, theta float64) float64
+}
+
+// flatten expands a TrainSet into per-(query, τ) rows with an extra
+// normalized-τ feature appended, the input format of the deep and boosted
+// baselines. Labels are the cumulative cardinalities.
+func flatten(ts *core.TrainSet, tauMax int) (x [][]float64, tau []int, y []float64) {
+	for q := 0; q < ts.NumQueries(); q++ {
+		feats := ts.X.Row(q)
+		labels := ts.Labels.Row(q)
+		for t := 0; t <= ts.TauTop; t++ {
+			row := make([]float64, len(feats)+1)
+			copy(row, feats)
+			row[len(feats)] = float64(t) / float64(max(tauMax, 1))
+			x = append(x, row)
+			tau = append(tau, t)
+			y = append(y, labels[t])
+		}
+	}
+	return x, tau, y
+}
+
+// log1pTargets maps counts to log space; models predict there and invert
+// with expm1, matching the MSLE objective the paper trains on.
+func log1pTargets(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = math.Log1p(v)
+	}
+	return out
+}
+
+// fromLog inverts log1p and clamps at zero.
+func fromLog(v float64) float64 {
+	c := math.Expm1(v)
+	if c < 0 || math.IsNaN(c) {
+		return 0
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

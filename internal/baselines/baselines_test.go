@@ -1,0 +1,412 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardnet/internal/core"
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+	"cardnet/internal/feature"
+	"cardnet/internal/simselect"
+)
+
+// fixture builds a small Hamming workload shared by the vector-model tests.
+type fixture struct {
+	train, valid, test *core.TrainSet
+	recs               []dist.BitVector
+	ext                *feature.HammingExtractor
+	ix                 *simselect.HammingIndex
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	recs := dataset.BinaryCodes(500, 32, 4, 0.08, 5)
+	ext := feature.NewHammingExtractor(32, 12, 12)
+	ix := simselect.NewHammingIndex(recs)
+	grid := dataset.ThresholdGrid(12, 12)
+	counts := func(q dist.BitVector, g []float64) []int {
+		cum := ix.CountAtEach(q, 12)
+		out := make([]int, len(g))
+		for i, theta := range g {
+			out[i] = cum[int(theta)]
+		}
+		return out
+	}
+	mk := func(qs []dist.BitVector) *core.TrainSet {
+		ts, err := core.BuildTrainSet[dist.BitVector](ext, qs, grid, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	return &fixture{
+		train: mk(recs[:200]),
+		valid: mk(recs[200:240]),
+		test:  mk(recs[240:280]),
+		recs:  recs, ext: ext, ix: ix,
+	}
+}
+
+// qerr computes the mean q-error of a vector model on the test split.
+func (f *fixture) qerr(m VectorModel) float64 {
+	var s float64
+	var n int
+	for q := 0; q < f.test.NumQueries(); q++ {
+		x := f.test.X.Row(q)
+		for tau := 0; tau <= f.test.TauTop; tau += 3 {
+			actual := math.Max(f.test.Labels.At(q, tau), 1)
+			est := math.Max(m.Estimate(x, tau), 1)
+			s += math.Max(actual/est, est/actual)
+			n++
+		}
+	}
+	return s / float64(n)
+}
+
+func vectorModels(tauMax int) []VectorModel {
+	fast := fitCfg{Epochs: 12, Batch: 64, LR: 1e-3, Seed: 1}
+	dnn := NewDNN(tauMax)
+	dnn.Fit_ = fast
+	dnnst := NewDNNPerTau(tauMax)
+	dnnst.Fit_ = fast
+	moe := NewMoE(tauMax)
+	moe.Fit_ = fast
+	rmi := NewRMI(tauMax)
+	rmi.Fit_ = fast
+	dln := NewDLN(tauMax)
+	dln.Fit_ = fitCfg{Epochs: 20, Batch: 64, LR: 1e-3, Seed: 1}
+	return []VectorModel{NewXGB(tauMax), NewLGBM(tauMax), dnn, dnnst, moe, rmi, dln}
+}
+
+func TestVectorModelsFitBeatsConstant(t *testing.T) {
+	f := newFixture(t)
+	// Baseline: always predict the global mean count.
+	var mean float64
+	var n int
+	for q := 0; q < f.train.NumQueries(); q++ {
+		for tau := 0; tau <= f.train.TauTop; tau++ {
+			mean += f.train.Labels.At(q, tau)
+			n++
+		}
+	}
+	mean /= float64(n)
+	var s float64
+	n = 0
+	for q := 0; q < f.test.NumQueries(); q++ {
+		for tau := 0; tau <= f.test.TauTop; tau += 3 {
+			actual := math.Max(f.test.Labels.At(q, tau), 1)
+			est := math.Max(mean, 1)
+			s += math.Max(actual/est, est/actual)
+			n++
+		}
+	}
+	constQ := s / float64(n)
+
+	for _, m := range vectorModels(12) {
+		m.Fit(f.train, f.valid)
+		q := f.qerr(m)
+		t.Logf("%s q-error %.3f (constant %.3f)", m.Name(), q, constQ)
+		if q > constQ {
+			t.Errorf("%s (q=%.3f) does not beat the constant predictor (q=%.3f)", m.Name(), q, constQ)
+		}
+		if m.SizeBytes() <= 0 {
+			t.Errorf("%s reports non-positive size", m.Name())
+		}
+	}
+}
+
+func TestMonotoneVectorModels(t *testing.T) {
+	f := newFixture(t)
+	// The paper lists TL-XGB, TL-LGBM and DL-DLN as monotonic.
+	dln := NewDLN(12)
+	dln.Fit_ = fitCfg{Epochs: 10, Batch: 64, LR: 1e-3, Seed: 1}
+	for _, m := range []VectorModel{NewXGB(12), NewLGBM(12), dln} {
+		m.Fit(f.train, f.valid)
+		for q := 0; q < 15; q++ {
+			x := f.test.X.Row(q)
+			prev := math.Inf(-1)
+			for tau := 0; tau <= 12; tau++ {
+				v := m.Estimate(x, tau)
+				if v < prev-1e-9 {
+					t.Fatalf("%s not monotone at query %d τ=%d: %v < %v", m.Name(), q, tau, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestEstimatesNonNegativeAndFinite(t *testing.T) {
+	f := newFixture(t)
+	for _, m := range vectorModels(12) {
+		m.Fit(f.train, f.valid)
+		for q := 0; q < 10; q++ {
+			x := f.test.X.Row(q)
+			for tau := 0; tau <= 12; tau += 4 {
+				v := m.Estimate(x, tau)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s produced bad estimate %v", m.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestUnfittedModelsReturnZero(t *testing.T) {
+	for _, m := range vectorModels(8) {
+		if v := m.Estimate(make([]float64, 32), 3); v != 0 {
+			t.Fatalf("%s unfitted estimate %v", m.Name(), v)
+		}
+	}
+}
+
+func TestUniformSampleExactOnFullSample(t *testing.T) {
+	recs := dataset.BinaryCodes(200, 32, 4, 0.08, 7)
+	d := func(a, b dist.BitVector) float64 { return float64(dist.Hamming(a, b)) }
+	us := NewUniformSample(recs, 1.0, d, 1) // 100% sample = exact
+	ix := simselect.NewHammingIndex(recs)
+	for _, theta := range []float64{0, 4, 8, 12} {
+		want := float64(ix.Count(recs[3], theta))
+		if got := us.Estimate(recs[3], theta); got != want {
+			t.Fatalf("full-sample estimate %v want %v", got, want)
+		}
+	}
+}
+
+func TestUniformSampleMonotoneAndScaled(t *testing.T) {
+	recs := dataset.BinaryCodes(400, 32, 4, 0.08, 8)
+	d := func(a, b dist.BitVector) float64 { return float64(dist.Hamming(a, b)) }
+	us := NewUniformSample(recs, 0.1, d, 2)
+	if len(us.Sample) != 40 {
+		t.Fatalf("sample size %d", len(us.Sample))
+	}
+	prev := -1.0
+	for theta := 0.0; theta <= 16; theta++ {
+		v := us.Estimate(recs[0], theta)
+		if v < prev {
+			t.Fatal("DB-US must be monotone for a fixed sample")
+		}
+		prev = v
+	}
+	if us.Name() != "DB-US" || us.SizeBytes() != 0 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestKDEMonotoneAndCalibrated(t *testing.T) {
+	recs := dataset.BinaryCodes(400, 32, 4, 0.08, 9)
+	d := func(a, b dist.BitVector) float64 { return float64(dist.Hamming(a, b)) }
+	kde := NewKDE(recs, 80, d, 3)
+	if kde.Name() != "TL-KDE" || kde.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	prev := -1.0
+	for theta := 0.0; theta <= 16; theta++ {
+		v := kde.Estimate(recs[0], theta)
+		if v < prev-1e-9 {
+			t.Fatal("KDE must be monotone in θ")
+		}
+		prev = v
+	}
+	// At a huge threshold everything matches.
+	if v := kde.Estimate(recs[0], 1000); math.Abs(v-400) > 1 {
+		t.Fatalf("KDE at θ→∞ should approach N: %v", v)
+	}
+}
+
+func TestHammingHistogram(t *testing.T) {
+	recs := dataset.BinaryCodes(500, 32, 4, 0.08, 10)
+	h := NewHammingHistogram(recs, 8)
+	ix := simselect.NewHammingIndex(recs)
+	if h.Name() != "DB-SE" || h.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	prev := -1.0
+	var worst float64
+	for theta := 0.0; theta <= 16; theta++ {
+		v := h.Estimate(recs[0], theta)
+		if v < prev-1e-9 {
+			t.Fatal("histogram must be monotone")
+		}
+		prev = v
+		actual := math.Max(float64(ix.Count(recs[0], theta)), 1)
+		est := math.Max(v, 1)
+		worst = math.Max(worst, math.Max(actual/est, est/actual))
+	}
+	// Independence assumption costs accuracy but should stay in the right
+	// order of magnitude on clustered data.
+	if worst > 50 {
+		t.Fatalf("histogram wildly off: worst q-error %.1f", worst)
+	}
+	// Exact at θ = dim (everything matches).
+	if v := h.Estimate(recs[0], 32); math.Abs(v-500) > 1e-6 {
+		t.Fatalf("estimate at θ=dim must be N: %v", v)
+	}
+}
+
+func TestHammingHistogramEmpty(t *testing.T) {
+	h := NewHammingHistogram(nil, 8)
+	if h.Estimate(dist.NewBitVector(8), 3) != 0 {
+		t.Fatal("empty dataset must estimate 0")
+	}
+}
+
+func TestEditGramIndexMonotoneUpperBoundish(t *testing.T) {
+	recs := dataset.Strings(400, 30, 3, 0.15, 11)
+	ix := NewEditGramIndex(recs)
+	exact := simselect.NewEditIndex(recs)
+	if ix.Name() != "DB-SE" || ix.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	q := recs[5]
+	prev := -1.0
+	for k := 0.0; k <= 6; k++ {
+		v := ix.Estimate(q, k)
+		if v < prev-1e-9 {
+			t.Fatal("gram-index estimate must be monotone")
+		}
+		prev = v
+		// Count-filter candidates are a superset of the true matches.
+		if actual := float64(exact.Count(q, k)); v < actual {
+			t.Fatalf("filter count %v below actual %v at k=%v", v, actual, k)
+		}
+	}
+}
+
+func TestJaccardLatticeMonotoneAndBounded(t *testing.T) {
+	recs := dataset.Sets(400, 500, 10, 8, 0.8, 3, 12)
+	l := NewJaccardLattice(recs)
+	if l.Name() != "DB-SE" || l.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	q := recs[7]
+	prev := -1.0
+	for theta := 0.0; theta <= 1.0; theta += 0.05 {
+		v := l.Estimate(q, theta)
+		if v < prev-1e-9 {
+			t.Fatal("lattice estimate must be monotone")
+		}
+		if v < 0 || v > float64(len(recs))+1e-9 {
+			t.Fatalf("estimate out of range: %v", v)
+		}
+		prev = v
+	}
+	// θ=1 matches everything.
+	if v := l.Estimate(q, 1); math.Abs(v-400) > 1e-6 {
+		t.Fatalf("θ=1 must estimate N: %v", v)
+	}
+}
+
+func TestPoissonTail(t *testing.T) {
+	if poissonTail(0, 0) != 1 || poissonTail(0, 1) != 0 {
+		t.Fatal("degenerate Poisson tails wrong")
+	}
+	// P(X≥1) = 1 − e^{−λ}.
+	if got, want := poissonTail(2, 1), 1-math.Exp(-2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tail=%v want %v", got, want)
+	}
+	// Tails decrease in k.
+	if !(poissonTail(3, 2) > poissonTail(3, 5)) {
+		t.Fatal("tail must decrease in k")
+	}
+}
+
+func TestEuclideanLSHSampler(t *testing.T) {
+	recs := dataset.Vectors(500, 16, 4, 0.1, true, 13)
+	s := NewEuclideanLSHSampler(recs, 0.8, 14)
+	exact := simselect.NewEuclideanIndex(recs)
+	if s.Name() != "DB-SE" || s.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	q := recs[3]
+	prev := -1.0
+	var ratioSum float64
+	var n int
+	for theta := 0.1; theta <= 0.8; theta += 0.1 {
+		v := s.Estimate(q, theta)
+		if v < prev-1e-9 {
+			t.Fatal("LSH sampler must be monotone")
+		}
+		prev = v
+		actual := math.Max(float64(exact.Count(q, theta)), 1)
+		ratioSum += math.Max(math.Max(v, 1)/actual, actual/math.Max(v, 1))
+		n++
+	}
+	if avg := ratioSum / float64(n); avg > 30 {
+		t.Fatalf("LSH sampler wildly off: mean q-error %.1f", avg)
+	}
+}
+
+func TestEuclideanLSHSamplerEmpty(t *testing.T) {
+	s := NewEuclideanLSHSampler(nil, 0.8, 1)
+	if s.Estimate([]float64{1}, 0.5) != 0 {
+		t.Fatal("empty dataset must estimate 0")
+	}
+}
+
+// Numeric gradient check of one lattice unit: parameters must match
+// central differences of the interpolated output.
+func TestLatticeUnitGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	u := newLatticeUnit(rng, 6, 3, 4)
+	x := []float64{0.3, -0.2, 0.9, 0.1, -0.5, 0.7}
+	tauNorm := 0.4
+
+	out, fwd := u.forward(x, tauNorm)
+	_ = out
+	for _, p := range u.params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+	u.backward(fwd, 1.0) // dL/dout = 1
+
+	const h = 1e-6
+	for _, p := range u.params() {
+		for i := range p.Value {
+			orig := p.Value[i]
+			p.Value[i] = orig + h
+			up, _ := u.forward(x, tauNorm)
+			p.Value[i] = orig - h
+			down, _ := u.forward(x, tauNorm)
+			p.Value[i] = orig
+			num := (up - down) / (2 * h)
+			if math.Abs(num-p.Grad[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, p.Grad[i], num)
+			}
+		}
+	}
+}
+
+func TestFlattenShapes(t *testing.T) {
+	f := newFixture(t)
+	x, tau, y := flatten(f.train, 12)
+	wantRows := f.train.NumQueries() * (f.train.TauTop + 1)
+	if len(x) != wantRows || len(tau) != wantRows || len(y) != wantRows {
+		t.Fatalf("flatten rows %d want %d", len(x), wantRows)
+	}
+	if len(x[0]) != f.train.X.Cols+1 {
+		t.Fatalf("flatten cols %d", len(x[0]))
+	}
+	if x[0][len(x[0])-1] != 0 || x[12][len(x[0])-1] != 1 {
+		t.Fatal("τ feature not normalized to [0,1]")
+	}
+}
+
+func TestLog1pRoundTrip(t *testing.T) {
+	ys := []float64{0, 1, 10, 1234}
+	logs := log1pTargets(ys)
+	for i, v := range logs {
+		if got := fromLog(v); math.Abs(got-ys[i]) > 1e-9 {
+			t.Fatalf("round trip %v -> %v", ys[i], got)
+		}
+	}
+	if fromLog(math.Inf(-1)) != 0 || fromLog(-5) != 0 {
+		t.Fatal("fromLog must clamp at zero")
+	}
+	if log1pTargets([]float64{-3})[0] != 0 {
+		t.Fatal("negative counts clamp to 0")
+	}
+}

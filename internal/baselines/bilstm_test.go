@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/simselect"
+	"cardnet/internal/tensor"
+)
+
+// bilstmFixture builds a small edit-distance workload with per-τ labels.
+func bilstmFixture(t *testing.T) (queries []string, labels *tensor.Matrix, tauTop int, ix *simselect.EditIndex) {
+	t.Helper()
+	recs := dataset.Strings(300, 25, 3, 0.15, 21)
+	ix = simselect.NewEditIndex(recs)
+	tauTop = 6
+	queries = recs[:60]
+	labels = tensor.NewMatrix(len(queries), tauTop+1)
+	for qi, q := range queries {
+		cum := ix.CountAtEach(q, tauTop)
+		for tau := 0; tau <= tauTop; tau++ {
+			labels.Set(qi, tau, float64(cum[tau]))
+		}
+	}
+	return queries, labels, tauTop, ix
+}
+
+func TestBiLSTMUnfittedReturnsZero(t *testing.T) {
+	m := NewBiLSTM(6)
+	if m.EstimateString("abc", 3) != 0 || m.SizeBytes() != 0 {
+		t.Fatal("unfitted model must be inert")
+	}
+	if m.Name() != "DL-BiLSTM" {
+		t.Fatal("name")
+	}
+}
+
+func TestBiLSTMFitsAndBeatsConstant(t *testing.T) {
+	queries, labels, tauTop, ix := bilstmFixture(t)
+	m := NewBiLSTM(tauTop)
+	m.Fit_.Epochs = 25
+	m.FitStrings(queries, labels, tauTop)
+	if m.SizeBytes() <= 0 {
+		t.Fatal("size must be positive after fit")
+	}
+
+	// Mean label as the trivial baseline.
+	var mean float64
+	for _, v := range labels.Data {
+		mean += v
+	}
+	mean /= float64(len(labels.Data))
+
+	recs := dataset.Strings(300, 25, 3, 0.15, 21)
+	var mQ, cQ float64
+	n := 0
+	for i := 60; i < 90; i++ {
+		q := recs[i]
+		cum := ix.CountAtEach(q, tauTop)
+		for tau := 0; tau <= tauTop; tau += 2 {
+			actual := math.Max(float64(cum[tau]), 1)
+			est := math.Max(m.EstimateString(q, tau), 1)
+			mQ += math.Max(actual/est, est/actual)
+			cm := math.Max(mean, 1)
+			cQ += math.Max(actual/cm, cm/actual)
+			n++
+		}
+	}
+	mQ /= float64(n)
+	cQ /= float64(n)
+	t.Logf("BiLSTM q-error %.3f vs constant %.3f", mQ, cQ)
+	if mQ > cQ {
+		t.Fatalf("BiLSTM (%.3f) does not beat constant predictor (%.3f)", mQ, cQ)
+	}
+}
+
+func TestBiLSTMMonotoneAndDeterministic(t *testing.T) {
+	queries, labels, tauTop, _ := bilstmFixture(t)
+	m := NewBiLSTM(tauTop)
+	m.Fit_.Epochs = 5
+	m.FitStrings(queries, labels, tauTop)
+	for _, q := range queries[:10] {
+		prev := -1.0
+		for tau := 0; tau <= tauTop; tau++ {
+			v := m.EstimateString(q, tau)
+			if v < prev-1e-9 {
+				t.Fatalf("not monotone at %q τ=%d", q, tau)
+			}
+			if v != m.EstimateString(q, tau) {
+				t.Fatal("must be deterministic")
+			}
+			prev = v
+		}
+	}
+	// τ clamping.
+	if m.EstimateString(queries[0], -1) != 0 {
+		t.Fatal("negative τ must estimate 0")
+	}
+	if m.EstimateString(queries[0], 99) != m.EstimateString(queries[0], tauTop) {
+		t.Fatal("overflow τ must clamp")
+	}
+}
+
+func TestBiLSTMHandlesUnknownCharsAndLongStrings(t *testing.T) {
+	queries, labels, tauTop, _ := bilstmFixture(t)
+	m := NewBiLSTM(tauTop)
+	m.Fit_.Epochs = 2
+	m.FitStrings(queries, labels, tauTop)
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = byte('A' + i%60) // mostly out-of-alphabet
+	}
+	v := m.EstimateString(string(long), 3)
+	if v < 0 || math.IsNaN(v) {
+		t.Fatalf("bad estimate on odd input: %v", v)
+	}
+	if m.EstimateString("", 3) < 0 {
+		t.Fatal("empty string must not break")
+	}
+}

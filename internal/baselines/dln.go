@@ -1,0 +1,350 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"cardnet/internal/core"
+	"cardnet/internal/nn"
+)
+
+// DLN is DL-DLN, a compact deep-lattice-network-style monotonic regressor
+// (You et al., NIPS 2017, simplified): the input features are reduced with a
+// fixed random projection to a handful of dimensions, each dimension passes
+// through a learned piecewise-linear calibrator, and a multilinear
+// interpolation lattice over the calibrated cube produces the output. The
+// threshold dimension is constrained monotone at both the calibrator (its
+// knot increments are squares) and the lattice (vertex deltas along the τ
+// axis are squares), so the estimate is monotone in τ. An ensemble of
+// lattices with independent projections is averaged (ensembles of lattices
+// scale lattices to high-dimensional inputs).
+type DLN struct {
+	TauMax  int
+	Dims    int // lattice dimensions, including the τ axis
+	Knots   int
+	Members int
+	Fit_    fitCfg
+
+	units []*latticeUnit
+	inDim int
+}
+
+// NewDLN builds a 4-member ensemble of 4-D lattices.
+func NewDLN(tauMax int) *DLN {
+	return &DLN{TauMax: tauMax, Dims: 4, Knots: 6, Members: 4, Fit_: defaultFit()}
+}
+
+// Name identifies the model.
+func (m *DLN) Name() string { return "DL-DLN" }
+
+// latticeUnit is one calibrated lattice. Dimension 0 is the monotone τ axis.
+type latticeUnit struct {
+	dims, knots int
+	proj        [][]float64 // (dims−1) random projection rows over features
+	projBias    []float64
+	projScale   []float64
+
+	// Calibrators: dimension 0 uses base+squared increments; others are free
+	// knot values.
+	calBase *nn.Param // dims values (knot 0)
+	calInc  *nn.Param // dims×(knots−1); squared for dim 0
+	// Lattice: vertices of the τ=0 face plus squared deltas to the τ=1 face.
+	vertBase  *nn.Param // 2^(dims−1) values
+	vertDelta *nn.Param // 2^(dims−1) values, squared
+}
+
+func newLatticeUnit(rng *rand.Rand, inDim, dims, knots int) *latticeUnit {
+	u := &latticeUnit{dims: dims, knots: knots}
+	for d := 0; d < dims-1; d++ {
+		row := make([]float64, inDim)
+		for j := range row {
+			row[j] = rng.NormFloat64() / math.Sqrt(float64(inDim))
+		}
+		u.proj = append(u.proj, row)
+		u.projBias = append(u.projBias, rng.NormFloat64()*0.1)
+		u.projScale = append(u.projScale, 2)
+	}
+	half := 1 << (dims - 1)
+	u.calBase = &nn.Param{Name: "calBase", Value: make([]float64, dims), Grad: make([]float64, dims)}
+	u.calInc = &nn.Param{Name: "calInc", Value: make([]float64, dims*(knots-1)), Grad: make([]float64, dims*(knots-1))}
+	u.vertBase = &nn.Param{Name: "vertBase", Value: make([]float64, half), Grad: make([]float64, half)}
+	u.vertDelta = &nn.Param{Name: "vertDelta", Value: make([]float64, half), Grad: make([]float64, half)}
+	for i := range u.calInc.Value {
+		u.calInc.Value[i] = 0.3 + 0.1*rng.Float64()
+	}
+	for i := range u.vertBase.Value {
+		u.vertBase.Value[i] = rng.NormFloat64() * 0.1
+		u.vertDelta.Value[i] = 0.3 + 0.1*rng.Float64()
+	}
+	return u
+}
+
+func (u *latticeUnit) params() []*nn.Param {
+	return []*nn.Param{u.calBase, u.calInc, u.vertBase, u.vertDelta}
+}
+
+// rawCoords maps a feature row + normalized τ to [0,1]^dims pre-calibration
+// coordinates (dim 0 = τ).
+func (u *latticeUnit) rawCoords(x []float64, tauNorm float64) []float64 {
+	c := make([]float64, u.dims)
+	c[0] = clamp01(tauNorm)
+	for d := 1; d < u.dims; d++ {
+		var dot float64
+		row := u.proj[d-1]
+		for j, v := range x {
+			dot += row[j] * v
+		}
+		c[d] = sigmoid(u.projScale[d-1] * (dot + u.projBias[d-1]))
+	}
+	return c
+}
+
+// calValue returns knot value k of dimension d. Dim 0 accumulates squared
+// increments so it is non-decreasing in k.
+func (u *latticeUnit) calValue(d, k int) float64 {
+	v := u.calBase.Value[d]
+	for j := 0; j < k; j++ {
+		inc := u.calInc.Value[d*(u.knots-1)+j]
+		if d == 0 {
+			v += inc * inc
+		} else {
+			v += inc
+		}
+	}
+	return v
+}
+
+// calibrate evaluates the piecewise-linear calibrator of dimension d at
+// t∈[0,1], returning the output and the (segment index, weight) needed for
+// the backward pass.
+func (u *latticeUnit) calibrate(d int, t float64) (out float64, seg int, w float64) {
+	pos := t * float64(u.knots-1)
+	seg = int(pos)
+	if seg >= u.knots-1 {
+		seg = u.knots - 2
+	}
+	w = pos - float64(seg)
+	a := u.calValue(d, seg)
+	b := u.calValue(d, seg+1)
+	return clamp01(a + w*(b-a)), seg, w
+}
+
+// forward computes the lattice output and caches everything backward needs.
+type latticeFwd struct {
+	raw     []float64 // pre-calibration coords
+	cal     []float64 // calibrated coords in [0,1]
+	seg     []int
+	segW    []float64
+	clamped []bool
+}
+
+func (u *latticeUnit) forward(x []float64, tauNorm float64) (float64, *latticeFwd) {
+	f := &latticeFwd{raw: u.rawCoords(x, tauNorm)}
+	f.cal = make([]float64, u.dims)
+	f.seg = make([]int, u.dims)
+	f.segW = make([]float64, u.dims)
+	f.clamped = make([]bool, u.dims)
+	for d := 0; d < u.dims; d++ {
+		v, seg, w := u.calibrate(d, f.raw[d])
+		// Track clamping to zero calibrator gradients outside [0,1].
+		a := u.calValue(d, seg)
+		b := u.calValue(d, seg+1)
+		rawOut := a + w*(b-a)
+		f.clamped[d] = rawOut != v
+		f.cal[d], f.seg[d], f.segW[d] = v, seg, w
+	}
+	return u.interpolate(f.cal), f
+}
+
+// vertexValue returns the lattice parameter at the corner with the given
+// bits (bit 0 = τ axis).
+func (u *latticeUnit) vertexValue(bits int) float64 {
+	rest := bits >> 1
+	v := u.vertBase.Value[rest]
+	if bits&1 == 1 {
+		d := u.vertDelta.Value[rest]
+		v += d * d
+	}
+	return v
+}
+
+// interpolate computes the multilinear interpolation over 2^dims corners.
+func (u *latticeUnit) interpolate(c []float64) float64 {
+	var out float64
+	for bits := 0; bits < 1<<u.dims; bits++ {
+		w := 1.0
+		for d := 0; d < u.dims; d++ {
+			if bits>>d&1 == 1 {
+				w *= c[d]
+			} else {
+				w *= 1 - c[d]
+			}
+		}
+		if w != 0 {
+			out += w * u.vertexValue(bits)
+		}
+	}
+	return out
+}
+
+// backward accumulates parameter gradients for dL/dout = g.
+func (u *latticeUnit) backward(f *latticeFwd, g float64) {
+	c := f.cal
+	dc := make([]float64, u.dims)
+	for bits := 0; bits < 1<<u.dims; bits++ {
+		w := 1.0
+		for d := 0; d < u.dims; d++ {
+			if bits>>d&1 == 1 {
+				w *= c[d]
+			} else {
+				w *= 1 - c[d]
+			}
+		}
+		v := u.vertexValue(bits)
+		rest := bits >> 1
+		// Vertex gradients.
+		if bits&1 == 1 {
+			u.vertBase.Grad[rest] += g * w
+			u.vertDelta.Grad[rest] += g * w * 2 * u.vertDelta.Value[rest]
+		} else {
+			u.vertBase.Grad[rest] += g * w
+		}
+		// Coordinate gradients: ∂w/∂c_d = ±(w / factor_d).
+		for d := 0; d < u.dims; d++ {
+			var wd float64 = 1
+			for e := 0; e < u.dims; e++ {
+				if e == d {
+					continue
+				}
+				if bits>>e&1 == 1 {
+					wd *= c[e]
+				} else {
+					wd *= 1 - c[e]
+				}
+			}
+			if bits>>d&1 == 1 {
+				dc[d] += g * v * wd
+			} else {
+				dc[d] -= g * v * wd
+			}
+		}
+	}
+	// Calibrator gradients (zero when the output was clamped).
+	for d := 0; d < u.dims; d++ {
+		if f.clamped[d] {
+			continue
+		}
+		seg, w := f.seg[d], f.segW[d]
+		// out = val(seg)·(1−w) + val(seg+1)·w; val(k) = base + Σ_{j<k} inc.
+		gA := dc[d] * (1 - w)
+		gB := dc[d] * w
+		u.calBase.Grad[d] += gA + gB
+		for j := 0; j < u.knots-1; j++ {
+			var reach float64
+			if j < seg {
+				reach = gA + gB
+			} else if j == seg {
+				reach = gB
+			} else {
+				continue
+			}
+			idx := d*(u.knots-1) + j
+			if d == 0 {
+				u.calInc.Grad[idx] += reach * 2 * u.calInc.Value[idx]
+			} else {
+				u.calInc.Grad[idx] += reach
+			}
+		}
+	}
+}
+
+// Fit trains the ensemble with Adam on log-space MSE.
+func (m *DLN) Fit(train, _ *core.TrainSet) {
+	x, taus, y := flatten(train, m.TauMax)
+	if len(x) == 0 {
+		return
+	}
+	feat := make([][]float64, len(x))
+	for i := range x {
+		feat[i] = x[i][:len(x[i])-1] // drop appended τ; units take it separately
+	}
+	m.inDim = len(feat[0])
+	ylog := log1pTargets(y)
+
+	rng := rand.New(rand.NewSource(m.Fit_.Seed))
+	m.units = nil
+	var params []*nn.Param
+	for e := 0; e < m.Members; e++ {
+		u := newLatticeUnit(rng, m.inDim, m.Dims, m.Knots)
+		m.units = append(m.units, u)
+		params = append(params, u.params()...)
+	}
+	opt := nn.NewAdam(params, m.Fit_.LR*3)
+
+	perm := make([]int, len(x))
+	for i := range perm {
+		perm[i] = i
+	}
+	for epoch := 0; epoch < m.Fit_.Epochs; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for start := 0; start < len(perm); start += m.Fit_.Batch {
+			end := start + m.Fit_.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for _, r := range perm[start:end] {
+				tn := float64(taus[r]) / float64(max(m.TauMax, 1))
+				var pred float64
+				fwds := make([]*latticeFwd, len(m.units))
+				for ui, u := range m.units {
+					o, f := u.forward(feat[r], tn)
+					pred += o
+					fwds[ui] = f
+				}
+				pred /= float64(len(m.units))
+				g := nn.MSEGrad(pred, ylog[r], end-start) / float64(len(m.units))
+				for ui, u := range m.units {
+					u.backward(fwds[ui], g)
+				}
+			}
+			nn.ClipGradNorm(params, 5)
+			opt.Step()
+		}
+	}
+}
+
+// Estimate averages the ensemble in log space and inverts.
+func (m *DLN) Estimate(x []float64, tau int) float64 {
+	if len(m.units) == 0 {
+		return 0
+	}
+	tn := float64(tau) / float64(max(m.TauMax, 1))
+	var pred float64
+	for _, u := range m.units {
+		o, _ := u.forward(x, tn)
+		pred += o
+	}
+	return fromLog(pred / float64(len(m.units)))
+}
+
+// SizeBytes sums the lattice parameters plus projections.
+func (m *DLN) SizeBytes() int {
+	n := 0
+	for _, u := range m.units {
+		n += nn.ParamBytes(u.params())
+		n += len(u.proj) * m.inDim * 8
+	}
+	return n
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,78 @@
+package baselines
+
+import (
+	"cardnet/internal/core"
+	"cardnet/internal/gbdt"
+)
+
+// Boosted wraps internal/gbdt as TL-XGB (level-wise growth) or TL-LGBM
+// (leaf-wise growth). The input is [x; τ/τmax] and a monotone-increasing
+// constraint is placed on the threshold feature, matching the paper's
+// classification of both models as monotonic. Targets are log1p counts.
+type Boosted struct {
+	Label  string
+	Growth gbdt.Growth
+	Cfg    gbdt.Config
+	TauMax int
+
+	model  *gbdt.Model
+	inDim  int
+	hasCfg bool
+}
+
+// NewXGB returns a level-wise boosted model (TL-XGB).
+func NewXGB(tauMax int) *Boosted {
+	return &Boosted{Label: "TL-XGB", Growth: gbdt.LevelWise, TauMax: tauMax}
+}
+
+// NewLGBM returns a leaf-wise boosted model (TL-LGBM).
+func NewLGBM(tauMax int) *Boosted {
+	return &Boosted{Label: "TL-LGBM", Growth: gbdt.LeafWise, TauMax: tauMax}
+}
+
+// Name identifies the model.
+func (b *Boosted) Name() string { return b.Label }
+
+// Fit trains the ensemble on the flattened (x, τ) rows.
+func (b *Boosted) Fit(train, _ *core.TrainSet) {
+	x, _, y := flatten(train, b.TauMax)
+	if len(x) == 0 {
+		return
+	}
+	b.inDim = len(x[0])
+	cfg := b.Cfg
+	if !b.hasCfg {
+		cfg = gbdt.DefaultConfig(b.Growth)
+	}
+	cfg.Growth = b.Growth
+	cfg.MonotoneInc = []int{b.inDim - 1} // τ is the last feature
+	b.model = gbdt.Fit(cfg, x, log1pTargets(y))
+}
+
+// SetConfig overrides the boosting hyperparameters before Fit.
+func (b *Boosted) SetConfig(cfg gbdt.Config) {
+	b.Cfg = cfg
+	b.hasCfg = true
+}
+
+// Estimate predicts expm1 of the boosted output.
+func (b *Boosted) Estimate(x []float64, tau int) float64 {
+	if b.model == nil {
+		return 0
+	}
+	row := make([]float64, len(x)+1)
+	copy(row, x)
+	if b.TauMax > 0 {
+		row[len(x)] = float64(tau) / float64(b.TauMax)
+	}
+	return fromLog(b.model.Predict(row))
+}
+
+// SizeBytes approximates the tree storage (feature, threshold, children,
+// value ≈ 40 bytes per node).
+func (b *Boosted) SizeBytes() int {
+	if b.model == nil {
+		return 0
+	}
+	return b.model.NumNodes() * 40
+}

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cardnet/internal/baselines"
+	"cardnet/internal/core"
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+	"cardnet/internal/feature"
+	"cardnet/internal/simselect"
+	"cardnet/internal/tensor"
+)
+
+// kindParts bundles everything a kind-specific builder supplies to the
+// generic pipeline.
+type kindParts[R any] struct {
+	records []R
+	ext     feature.Extractor[R]
+	altEnc  func(r R) []float64 // replaced-feature-extraction encoding, nil to skip
+	altDim  int
+	counts  func(q R, grid []float64) []int
+	count1  func(q R, theta float64) int
+	distFn  func(a, b R) float64
+	integer bool // integer-valued distance (test thresholds snap to ints)
+}
+
+// BuildEuclideanSuite prepares a suite over externally supplied vectors
+// (used by the conjunctive-optimizer case study, whose attribute columns are
+// built outside the spec registry).
+func BuildEuclideanSuite(name string, vecs [][]float64, thetaMax float64, opts Options) *Suite {
+	if opts.QueryFrac == 0 {
+		opts = DefaultOptions()
+	}
+	spec := dataset.Spec{Name: name, Kind: dataset.EU, N: len(vecs), ThetaMax: thetaMax, Seed: opts.Seed}
+	if len(vecs) > 0 {
+		spec.Dim = len(vecs[0])
+	}
+	return buildFromParts(spec, opts, euclideanParts(spec, opts, vecs))
+}
+
+// BuildSuite prepares the workload and every model handle for one dataset.
+func BuildSuite(spec dataset.Spec, opts Options) *Suite {
+	if opts.QueryFrac == 0 {
+		opts = DefaultOptions()
+	}
+	if opts.NOverride > 0 {
+		spec.N = opts.NOverride
+	}
+	m := dataset.Generate(spec)
+	switch spec.Kind {
+	case dataset.HM:
+		return buildFromParts(spec, opts, hammingParts(spec, opts, m.Bits))
+	case dataset.ED:
+		return buildFromParts(spec, opts, editParts(spec, opts, m.Strings))
+	case dataset.JC:
+		return buildFromParts(spec, opts, jaccardParts(spec, opts, m.Sets))
+	default:
+		return buildFromParts(spec, opts, euclideanParts(spec, opts, m.Vecs))
+	}
+}
+
+func defaultTauMax(spec dataset.Spec, opts Options) int {
+	if opts.TauMax > 0 {
+		return opts.TauMax
+	}
+	switch spec.Kind {
+	case dataset.HM, dataset.ED:
+		return int(spec.ThetaMax)
+	default:
+		return 16
+	}
+}
+
+func hammingParts(spec dataset.Spec, opts Options, recs []dist.BitVector) kindParts[dist.BitVector] {
+	tauMax := defaultTauMax(spec, opts)
+	ix := simselect.NewHammingIndex(recs)
+	maxTheta := int(spec.ThetaMax)
+	return kindParts[dist.BitVector]{
+		records: recs,
+		ext:     feature.NewHammingExtractor(spec.Dim, maxTheta, tauMax),
+		counts: func(q dist.BitVector, grid []float64) []int {
+			cum := ix.CountAtEach(q, maxTheta)
+			out := make([]int, len(grid))
+			for i, theta := range grid {
+				out[i] = cum[int(theta)]
+			}
+			return out
+		},
+		count1:  func(q dist.BitVector, theta float64) int { return ix.Count(q, theta) },
+		distFn:  func(a, b dist.BitVector) float64 { return float64(dist.Hamming(a, b)) },
+		integer: true,
+	}
+}
+
+func editParts(spec dataset.Spec, opts Options, recs []string) kindParts[string] {
+	tauMax := defaultTauMax(spec, opts)
+	ix := simselect.NewEditIndex(recs)
+	maxTheta := int(spec.ThetaMax)
+	lmax := dataset.MaxStringLen(recs)
+	alphabet := "abcdefghijklmnopqrstuvwxyz"
+	// Alt encoding: padded normalized char codes (the paper replaces the
+	// bounding embedding with a learned string representation; a dense
+	// positional code is the closest non-recurrent stand-in).
+	altDim := lmax
+	return kindParts[string]{
+		records: recs,
+		ext:     feature.NewEditExtractor(alphabet, lmax, maxTheta, tauMax),
+		altDim:  altDim,
+		altEnc: func(s string) []float64 {
+			out := make([]float64, altDim)
+			for i := 0; i < len(s) && i < altDim; i++ {
+				out[i] = float64(s[i]-'a'+1) / 26
+			}
+			return out
+		},
+		counts: func(q string, grid []float64) []int {
+			cum := ix.CountAtEach(q, maxTheta)
+			out := make([]int, len(grid))
+			for i, theta := range grid {
+				out[i] = cum[int(theta)]
+			}
+			return out
+		},
+		count1:  func(q string, theta float64) int { return ix.Count(q, theta) },
+		distFn:  func(a, b string) float64 { return float64(dist.Edit(a, b)) },
+		integer: true,
+	}
+}
+
+func jaccardParts(spec dataset.Spec, opts Options, recs []dist.IntSet) kindParts[dist.IntSet] {
+	tauMax := defaultTauMax(spec, opts)
+	ix := simselect.NewJaccardIndex(recs, spec.ThetaMax)
+	// Alt encoding: capped multi-hot over the token universe.
+	const altCap = 512
+	return kindParts[dist.IntSet]{
+		records: recs,
+		ext:     feature.NewJaccardExtractor(64, 2, spec.ThetaMax, tauMax, opts.Seed),
+		altDim:  altCap,
+		altEnc: func(s dist.IntSet) []float64 {
+			out := make([]float64, altCap)
+			for _, t := range s {
+				out[t%altCap] = 1
+			}
+			return out
+		},
+		counts:  func(q dist.IntSet, grid []float64) []int { return ix.CountAtEach(q, grid) },
+		count1:  func(q dist.IntSet, theta float64) int { return ix.Count(q, theta) },
+		distFn:  dist.Jaccard,
+		integer: false,
+	}
+}
+
+func euclideanParts(spec dataset.Spec, opts Options, recs [][]float64) kindParts[[]float64] {
+	tauMax := defaultTauMax(spec, opts)
+	ix := simselect.NewEuclideanIndex(recs)
+	return kindParts[[]float64]{
+		records: recs,
+		ext:     feature.NewEuclideanExtractor(48, spec.Dim, 7, spec.ThetaMax/2, spec.ThetaMax, tauMax, opts.Seed),
+		altDim:  spec.Dim,
+		altEnc: func(v []float64) []float64 {
+			// Unit-sphere coordinates mapped into [0,1] so the VAE's BCE
+			// reconstruction stays well defined.
+			out := make([]float64, len(v))
+			for i, x := range v {
+				out[i] = (x + 1) / 2
+			}
+			return out
+		},
+		counts:  func(q []float64, grid []float64) []int { return ix.CountAtEach(q, grid) },
+		count1:  func(q []float64, theta float64) int { return ix.Count(q, theta) },
+		distFn:  dist.Euclidean,
+		integer: false,
+	}
+}
+
+// buildFromParts runs the generic pipeline: sample the query workload,
+// split 80:10:10, label against the grid, encode, and construct handles.
+func buildFromParts[R any](spec dataset.Spec, opts Options, kp kindParts[R]) *Suite {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := len(kp.records)
+
+	var queryIdx []int
+	switch opts.Policy {
+	case MultipleUniform:
+		queryIdx = dataset.SampleMultipleUniform(n, opts.QueryFrac, 5, opts.Seed)
+	case SingleSkewed:
+		_, assign := dataset.KMedoids(n, 8, func(i, j int) float64 {
+			return kp.distFn(kp.records[i], kp.records[j])
+		}, 4, opts.Seed)
+		queryIdx = dataset.SampleSkewed(assign, 8, int(opts.QueryFrac*float64(n)), opts.Seed)
+	default:
+		queryIdx = dataset.SampleUniform(n, opts.QueryFrac, opts.Seed)
+	}
+	split := dataset.SplitWorkload(queryIdx, opts.Seed+1)
+
+	grid := dataset.ThresholdGrid(spec.ThetaMax, opts.GridPoints)
+	pick := func(ids []int) []R {
+		out := make([]R, len(ids))
+		for i, id := range ids {
+			out[i] = kp.records[id]
+		}
+		return out
+	}
+	trainQ, validQ, testQ := pick(split.Train), pick(split.Valid), pick(split.Test)
+	if opts.TestMultiUniform {
+		// Section 9.12: test on a fresh workload of multiple uniform samples
+		// of the same size as the split's test share.
+		idx := dataset.SampleMultipleUniform(n, opts.QueryFrac/10, 5, opts.Seed+9)
+		testQ = pick(idx)
+	}
+
+	labelStart := time.Now()
+	train, err := core.BuildTrainSet(kp.ext, trainQ, grid, kp.counts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	valid, err := core.BuildTrainSet(kp.ext, validQ, grid, kp.counts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+
+	b := &Bundle{
+		Spec:         spec,
+		TauMax:       kp.ext.TauMax(),
+		Grid:         grid,
+		Train:        train,
+		Valid:        valid,
+		NumRecs:      n,
+		EncodeRecord: func(rec any) []float64 { return kp.ext.Encode(rec.(R)) },
+		ThresholdOf:  kp.ext.Threshold,
+	}
+
+	// Test points are rebound through holder so Fig 10 can swap in
+	// out-of-dataset queries without rebuilding the trained models.
+	holder := &testQ
+	b.TrainRecords = trainQ
+	b.ValidRecords = validQ
+	bindTest := func(qs []R) {
+		*holder = qs
+		b.TestRecords = qs
+		b.TestX = tensor.NewMatrix(len(qs), kp.ext.Dim())
+		b.Points = b.Points[:0]
+		for qi, q := range qs {
+			copy(b.TestX.Row(qi), kp.ext.Encode(q))
+			for _, theta := range testThetas(rng, spec.ThetaMax, opts.TestPerQuery, kp.integer) {
+				b.Points = append(b.Points, TestPoint{
+					Query:  qi,
+					Theta:  theta,
+					Tau:    kp.ext.Threshold(theta),
+					Actual: float64(kp.count1(q, theta)),
+				})
+			}
+		}
+		if kp.altEnc != nil {
+			b.AltTestX = tensor.NewMatrix(len(qs), kp.altDim)
+			for qi, q := range qs {
+				copy(b.AltTestX.Row(qi), kp.altEnc(q))
+			}
+		}
+	}
+	bindTest(testQ)
+	b.labelTime = time.Since(labelStart)
+
+	// Replaced-feature-extraction variant (Table 7).
+	if kp.altEnc != nil {
+		altExt := &altExtractor[R]{inner: kp.ext, enc: kp.altEnc, dim: kp.altDim}
+		b.AltTrain, _ = core.BuildTrainSet[R](altExt, trainQ, grid, kp.counts)
+		b.AltValid, _ = core.BuildTrainSet[R](altExt, validQ, grid, kp.counts)
+	}
+
+	// Record-space models over the (rebindable) test queries.
+	b.simSelect = func(qi int, theta float64) float64 {
+		return float64(kp.count1((*holder)[qi], theta))
+	}
+	ratio := opts.SampleRatio
+	if ratio == 0 {
+		ratio = 0.05
+	}
+	us := baselines.NewUniformSample(kp.records, ratio, kp.distFn, opts.Seed+2)
+	kdeSample := 100
+	if kdeSample > n {
+		kdeSample = n
+	}
+	kde := baselines.NewKDE(kp.records, kdeSample, kp.distFn, opts.Seed+3)
+	b.recordModels = []recordModel{
+		buildDBSE(spec, kp, holder, opts),
+		{name: "DB-US", size: us.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return us.Estimate((*holder)[qi], theta) }},
+		{name: "TL-KDE", size: kde.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return kde.Estimate((*holder)[qi], theta) }},
+	}
+
+	// Out-of-dataset query swap (Section 9.10): k-medoids on a subsample,
+	// then far random queries of the dataset's type.
+	b.swapOOD = func(candidates, keep int, seed int64) {
+		m := materializedFrom(spec, kp.records)
+		sub := n
+		if sub > 300 {
+			sub = 300
+		}
+		medoids, _ := dataset.KMedoids(sub, 8, func(i, j int) float64 {
+			return kp.distFn(kp.records[i], kp.records[j])
+		}, 3, seed)
+		ood := dataset.OutOfDataset(m, medoids, candidates, keep, seed)
+		bindTest(recordsOf[R](ood))
+	}
+
+	return &Suite{Bundle: b, Handles: buildHandles(b, opts)}
+}
+
+// materializedFrom wraps typed records back into a dataset.Materialized for
+// the out-of-dataset generator.
+func materializedFrom[R any](spec dataset.Spec, records []R) *dataset.Materialized {
+	m := &dataset.Materialized{Spec: spec}
+	switch r := any(records).(type) {
+	case []dist.BitVector:
+		m.Bits = r
+	case []string:
+		m.Strings = r
+	case []dist.IntSet:
+		m.Sets = r
+	case [][]float64:
+		m.Vecs = r
+	}
+	return m
+}
+
+// recordsOf extracts the typed record slice from a Materialized.
+func recordsOf[R any](m *dataset.Materialized) []R {
+	switch any([]R(nil)).(type) {
+	case []dist.BitVector:
+		return any(m.Bits).([]R)
+	case []string:
+		return any(m.Strings).([]R)
+	case []dist.IntSet:
+		return any(m.Sets).([]R)
+	default:
+		return any(m.Vecs).([]R)
+	}
+}
+
+// buildDBSE instantiates the per-kind specialized estimator and binds it to
+// the (rebindable) test queries.
+func buildDBSE[R any](spec dataset.Spec, kp kindParts[R], holder *[]R, opts Options) recordModel {
+	q := func(qi int) R { return (*holder)[qi] }
+	switch recs := any(kp.records).(type) {
+	case []dist.BitVector:
+		h := baselines.NewHammingHistogram(recs, 8)
+		return recordModel{name: "DB-SE", size: h.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return h.Estimate(any(q(qi)).(dist.BitVector), theta) }}
+	case []string:
+		ix := baselines.NewEditGramIndex(recs)
+		return recordModel{name: "DB-SE", size: ix.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return ix.Estimate(any(q(qi)).(string), theta) }}
+	case []dist.IntSet:
+		l := baselines.NewJaccardLattice(recs)
+		return recordModel{name: "DB-SE", size: l.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return l.Estimate(any(q(qi)).(dist.IntSet), theta) }}
+	case [][]float64:
+		s := baselines.NewEuclideanLSHSampler(recs, spec.ThetaMax, opts.Seed+4)
+		return recordModel{name: "DB-SE", size: s.SizeBytes(),
+			estimate: func(qi int, theta float64) float64 { return s.Estimate(any(q(qi)).([]float64), theta) }}
+	}
+	return recordModel{name: "DB-SE"}
+}
+
+// altExtractor swaps the Encode/Dim of an extractor while keeping its
+// threshold transformation, for the feature-extraction ablation.
+type altExtractor[R any] struct {
+	inner feature.Extractor[R]
+	enc   func(R) []float64
+	dim   int
+}
+
+func (a *altExtractor[R]) Dim() int                    { return a.dim }
+func (a *altExtractor[R]) TauMax() int                 { return a.inner.TauMax() }
+func (a *altExtractor[R]) ThetaMax() float64           { return a.inner.ThetaMax() }
+func (a *altExtractor[R]) Encode(r R) []float64        { return a.enc(r) }
+func (a *altExtractor[R]) Threshold(theta float64) int { return a.inner.Threshold(theta) }

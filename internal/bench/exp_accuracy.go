@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/metrics"
+)
+
+// AccuracyResult holds one model's evaluation on one dataset.
+type AccuracyResult struct {
+	Dataset  string
+	Model    string
+	Report   metrics.Report
+	EstTime  time.Duration // mean per-estimate latency
+	Size     int
+	FitTime  time.Duration
+	Monotone bool
+}
+
+// RunAccuracy evaluates the given model names (nil = AllModelNames) on each
+// spec, producing the data behind Tables 3, 4, 5, 6, 9 and 10.
+func RunAccuracy(specs []dataset.Spec, names []string, opts Options) []AccuracyResult {
+	if names == nil {
+		names = AllModelNames
+	}
+	var out []AccuracyResult
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		actual := b.Actuals()
+		for _, name := range names {
+			h := s.Handle(name)
+			if h == nil {
+				continue
+			}
+			h.Fit()
+			start := time.Now()
+			est := b.Estimates(h)
+			perEst := time.Since(start) / time.Duration(maxI(len(b.Points), 1))
+			out = append(out, AccuracyResult{
+				Dataset:  spec.Name,
+				Model:    name,
+				Report:   metrics.Evaluate(actual, est),
+				EstTime:  perEst,
+				Size:     h.SizeBytes(),
+				FitTime:  h.TrainTime,
+				Monotone: h.Monotone,
+			})
+		}
+	}
+	return out
+}
+
+// metricsByModel reshapes results into model → dataset → result.
+func metricsByModel(res []AccuracyResult) (models []string, datasets []string, grid map[string]map[string]AccuracyResult) {
+	grid = map[string]map[string]AccuracyResult{}
+	seenM := map[string]bool{}
+	seenD := map[string]bool{}
+	for _, r := range res {
+		if grid[r.Model] == nil {
+			grid[r.Model] = map[string]AccuracyResult{}
+		}
+		grid[r.Model][r.Dataset] = r
+		if !seenM[r.Model] {
+			seenM[r.Model] = true
+			models = append(models, r.Model)
+		}
+		if !seenD[r.Dataset] {
+			seenD[r.Dataset] = true
+			datasets = append(datasets, r.Dataset)
+		}
+	}
+	return models, datasets, grid
+}
+
+// RenderAccuracyTables prints the Tables 3–6/9/10 analogues from results.
+func RenderAccuracyTables(w io.Writer, res []AccuracyResult) {
+	models, datasets, grid := metricsByModel(res)
+	mk := func(title string, cell func(r AccuracyResult) string) {
+		t := newTable(title, append([]string{"Model"}, datasets...)...)
+		for _, m := range models {
+			cells := []string{m}
+			for _, d := range datasets {
+				if r, ok := grid[m][d]; ok {
+					cells = append(cells, cell(r))
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+			t.add(cells...)
+		}
+		t.render(w)
+	}
+	mk("Table 3: MSE", func(r AccuracyResult) string { return f2(r.Report.MSE) })
+	mk("Table 4: MAPE (%)", func(r AccuracyResult) string { return f2(r.Report.MAPE) })
+	mk("Table 5: mean q-error", func(r AccuracyResult) string { return f2(r.Report.MeanQError) })
+	mk("Table 6: avg estimation time (ms)", func(r AccuracyResult) string {
+		return fmt.Sprintf("%.4f", float64(r.EstTime.Nanoseconds())/1e6)
+	})
+	mk("Table 9: model size (KB)", func(r AccuracyResult) string {
+		return fmt.Sprintf("%.1f", float64(r.Size)/1024)
+	})
+	mk("Table 10: training time (s)", func(r AccuracyResult) string {
+		return fmt.Sprintf("%.2f", r.FitTime.Seconds())
+	})
+}
+
+// ThresholdSeries is one model's per-threshold error curve (Figure 5).
+type ThresholdSeries struct {
+	Dataset string
+	Model   string
+	Thetas  []float64
+	MSE     []float64
+	MAPE    []float64
+}
+
+// Fig5Models is the model subset plotted in Figure 5.
+var Fig5Models = []string{NameCardNet, NameCardNetA, "TL-XGB", "DL-RMI", "DL-MoE", "DB-US", "DL-DLN"}
+
+// RunFig5 computes accuracy-vs-threshold curves on each spec.
+func RunFig5(specs []dataset.Spec, opts Options) []ThresholdSeries {
+	var out []ThresholdSeries
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		// Group test points by τ (the discrete threshold axis).
+		for _, name := range Fig5Models {
+			h := s.Handle(name)
+			if h == nil {
+				continue
+			}
+			keys := make([]int, len(b.Points))
+			for i, p := range b.Points {
+				keys[i] = p.Tau
+			}
+			groups := metrics.GroupByKey(keys, b.Actuals(), b.Estimates(h))
+			var taus []int
+			for k := range groups {
+				taus = append(taus, k)
+			}
+			sort.Ints(taus)
+			ts := ThresholdSeries{Dataset: spec.Name, Model: name}
+			for _, tau := range taus {
+				ts.Thetas = append(ts.Thetas, float64(tau))
+				ts.MSE = append(ts.MSE, groups[tau].MSE)
+				ts.MAPE = append(ts.MAPE, groups[tau].MAPE)
+			}
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// RenderThresholdSeries prints Figure 5-style series.
+func RenderThresholdSeries(w io.Writer, title string, series []ThresholdSeries) {
+	byDataset := map[string][]ThresholdSeries{}
+	var order []string
+	for _, s := range series {
+		if len(byDataset[s.Dataset]) == 0 {
+			order = append(order, s.Dataset)
+		}
+		byDataset[s.Dataset] = append(byDataset[s.Dataset], s)
+	}
+	for _, ds := range order {
+		t := newTable(fmt.Sprintf("%s — %s", title, ds), "Model", "tau", "MSE", "MAPE(%)")
+		for _, s := range byDataset[ds] {
+			for i := range s.Thetas {
+				t.addf("%s\t%.0f\t%s\t%s", s.Model, s.Thetas[i], f2(s.MSE[i]), f2(s.MAPE[i]))
+			}
+		}
+		t.render(w)
+	}
+}
+
+// RunFig7 sweeps the training-set fraction (20%..100%) and reports MSE, the
+// Figure 7 experiment.
+func RunFig7(specs []dataset.Spec, fractions []float64, names []string, opts Options) []AccuracyResult {
+	if fractions == nil {
+		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if names == nil {
+		names = []string{NameCardNet, NameCardNetA, "TL-XGB", "DL-RMI", "DL-MoE", "DL-DLN"}
+	}
+	var out []AccuracyResult
+	for _, spec := range specs {
+		for _, frac := range fractions {
+			o := opts
+			o.QueryFrac = opts.QueryFrac // workload unchanged; subset below
+			s := BuildSuite(spec, o)
+			b := s.Bundle
+			// Subset the training rows.
+			n := int(frac * float64(b.Train.NumQueries()))
+			if n < 1 {
+				n = 1
+			}
+			rows := make([]int, n)
+			for i := range rows {
+				rows[i] = i
+			}
+			b.Train = b.Train.Subset(rows)
+			if b.AltTrain != nil {
+				b.AltTrain = b.AltTrain.Subset(rows)
+			}
+			label := fmt.Sprintf("%s@%.0f%%", spec.Name, frac*100)
+			for _, name := range names {
+				h := s.Handle(name)
+				if h == nil {
+					continue
+				}
+				out = append(out, AccuracyResult{
+					Dataset: label,
+					Model:   name,
+					Report:  metrics.Evaluate(b.Actuals(), b.Estimates(h)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunFig9 groups test points by actual-cardinality buckets and reports MSE
+// per group — the long-tail experiment. Bucket boundaries follow the
+// paper's "every thousand" convention scaled to the workload (quartiles of
+// the nonzero actuals).
+func RunFig9(specs []dataset.Spec, names []string, opts Options) map[string]map[string]map[string]float64 {
+	if names == nil {
+		names = []string{NameCardNet, NameCardNetA, "DL-DLN", "TL-XGB", "DB-US", "DL-RMI", "DL-MoE"}
+	}
+	// dataset → model → bucket label → MSE
+	out := map[string]map[string]map[string]float64{}
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		actual := b.Actuals()
+		// Quartile buckets over actual cardinalities.
+		sorted := append([]float64(nil), actual...)
+		sort.Float64s(sorted)
+		q := func(p float64) float64 { return sorted[int(p*float64(len(sorted)-1))] }
+		cuts := []float64{q(0.25), q(0.5), q(0.75)}
+		bucket := func(v float64) string {
+			switch {
+			case v < cuts[0]:
+				return "Q1"
+			case v < cuts[1]:
+				return "Q2"
+			case v < cuts[2]:
+				return "Q3"
+			default:
+				return "Q4(tail)"
+			}
+		}
+		out[spec.Name] = map[string]map[string]float64{}
+		for _, name := range names {
+			h := s.Handle(name)
+			if h == nil {
+				continue
+			}
+			est := b.Estimates(h)
+			keys := make([]int, len(b.Points))
+			lbls := []string{"Q1", "Q2", "Q3", "Q4(tail)"}
+			lblIdx := map[string]int{}
+			for i, l := range lbls {
+				lblIdx[l] = i
+			}
+			for i := range b.Points {
+				keys[i] = lblIdx[bucket(actual[i])]
+			}
+			groups := metrics.GroupByKey(keys, actual, est)
+			out[spec.Name][name] = map[string]float64{}
+			for k, rep := range groups {
+				out[spec.Name][name][lbls[k]] = rep.MSE
+			}
+		}
+	}
+	return out
+}
+
+// RenderFig9 prints the long-tail buckets.
+func RenderFig9(w io.Writer, title string, res map[string]map[string]map[string]float64) {
+	var dss []string
+	for ds := range res {
+		dss = append(dss, ds)
+	}
+	sort.Strings(dss)
+	for _, ds := range dss {
+		t := newTable(fmt.Sprintf("%s — %s (MSE per cardinality bucket)", title, ds),
+			"Model", "Q1", "Q2", "Q3", "Q4(tail)")
+		var ms []string
+		for m := range res[ds] {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		for _, m := range ms {
+			g := res[ds][m]
+			t.addf("%s\t%s\t%s\t%s\t%s", m, f2(g["Q1"]), f2(g["Q2"]), f2(g["Q3"]), f2(g["Q4(tail)"]))
+		}
+		t.render(w)
+	}
+}

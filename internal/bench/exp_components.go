@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/metrics"
+)
+
+// AblationResult holds the γ improvement ratios of Table 7 for one
+// component on one dataset.
+type AblationResult struct {
+	Dataset   string
+	Component string
+	GammaMSE  float64
+	GammaMAPE float64
+	GammaQ    float64
+}
+
+// RunTable7 evaluates CardNet-A against each component-replaced variant and
+// reports γ = (ξ(replaced) − ξ(full)) / ξ(replaced) for MSE, MAPE, and mean
+// q-error.
+func RunTable7(specs []dataset.Spec, opts Options) []AblationResult {
+	var out []AblationResult
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		actual := b.Actuals()
+		full := s.Handle(NameCardNetA)
+		fullRep := metrics.Evaluate(actual, b.Estimates(full))
+		for comp, name := range AblationNames {
+			h := s.Handle(name)
+			if h == nil {
+				continue // e.g. feature ablation on Hamming
+			}
+			rep := metrics.Evaluate(actual, b.Estimates(h))
+			out = append(out, AblationResult{
+				Dataset:   spec.Name,
+				Component: comp,
+				GammaMSE:  metrics.ImprovementRatio(rep.MSE, fullRep.MSE),
+				GammaMAPE: metrics.ImprovementRatio(rep.MAPE, fullRep.MAPE),
+				GammaQ:    metrics.ImprovementRatio(rep.MeanQError, fullRep.MeanQError),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// RenderTable7 prints the ablation ratios.
+func RenderTable7(w io.Writer, res []AblationResult) {
+	t := newTable("Table 7: component ablations (γ improvement of full CardNet-A over variant)",
+		"Dataset", "Component", "γMSE", "γMAPE", "γq-error")
+	for _, r := range res {
+		t.addf("%s\t%s\t%.0f%%\t%.0f%%\t%.0f%%",
+			r.Dataset, r.Component, r.GammaMSE*100, r.GammaMAPE*100, r.GammaQ*100)
+	}
+	t.render(w)
+}
+
+// DecoderSweepPoint is one (decoder count, accuracy) pair of Figure 6.
+type DecoderSweepPoint struct {
+	Dataset  string
+	Decoders int
+	MSE      float64
+	MAPE     float64
+}
+
+// RunFig6 sweeps the number of decoders (τmax+1) for CardNet-A on the
+// high-dimensional specs.
+func RunFig6(specs []dataset.Spec, tauMaxes []int, opts Options) []DecoderSweepPoint {
+	var out []DecoderSweepPoint
+	for _, spec := range specs {
+		for _, tm := range tauMaxes {
+			o := opts
+			o.TauMax = tm
+			s := BuildSuite(spec, o)
+			b := s.Bundle
+			h := s.Handle(NameCardNetA)
+			rep := metrics.Evaluate(b.Actuals(), b.Estimates(h))
+			out = append(out, DecoderSweepPoint{
+				Dataset:  spec.Name,
+				Decoders: tm + 1,
+				MSE:      rep.MSE,
+				MAPE:     rep.MAPE,
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig6 prints the decoder sweep.
+func RenderFig6(w io.Writer, res []DecoderSweepPoint) {
+	t := newTable("Figure 6: accuracy vs number of decoders (CardNet-A)",
+		"Dataset", "Decoders", "MSE", "MAPE(%)")
+	for _, r := range res {
+		t.addf("%s\t%d\t%s\t%s", r.Dataset, r.Decoders, f2(r.MSE), f2(r.MAPE))
+	}
+	t.render(w)
+}
+
+// RenderFig7 prints the training-size sweep using the accuracy-result rows
+// produced by RunFig7.
+func RenderFig7(w io.Writer, res []AccuracyResult) {
+	t := newTable("Figure 7: MSE vs training-set fraction", "Workload", "Model", "MSE")
+	for _, r := range res {
+		t.addf("%s\t%s\t%s", r.Dataset, r.Model, f2(r.Report.MSE))
+	}
+	t.render(w)
+}
+
+// RenderMonotonicity prints an auxiliary check: the share of test queries
+// whose estimate sequence over increasing τ is monotone, per model. The
+// paper guarantees 100% for CardNet/CardNet-A and the monotone baselines.
+func RenderMonotonicity(w io.Writer, specs []dataset.Spec, names []string, opts Options) {
+	if names == nil {
+		names = AllModelNames
+	}
+	t := newTable("Monotonicity check (share of monotone test queries)",
+		append([]string{"Model"}, specNames(specs)...)...)
+	cells := map[string][]string{}
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		for _, name := range names {
+			h := s.Handle(name)
+			if h == nil {
+				cells[name] = append(cells[name], "-")
+				continue
+			}
+			mono := 0
+			for qi := 0; qi < b.TestX.Rows; qi++ {
+				var seq []float64
+				for tau := 0; tau <= b.TauMax; tau++ {
+					seq = append(seq, h.Estimate(TestPoint{Query: qi, Tau: tau, Theta: thetaFor(b, tau)}))
+				}
+				if metrics.IsMonotonic(seq) {
+					mono++
+				}
+			}
+			cells[name] = append(cells[name], fmt.Sprintf("%.0f%%", 100*float64(mono)/float64(maxI(b.TestX.Rows, 1))))
+		}
+	}
+	for _, name := range names {
+		t.add(append([]string{name}, cells[name]...)...)
+	}
+	t.render(w)
+}
+
+// thetaFor inverts the threshold transform approximately: the smallest grid
+// θ mapping to at least τ (used only by the monotonicity check, where
+// record-space models need a θ consistent with τ).
+func thetaFor(b *Bundle, tau int) float64 {
+	frac := float64(tau) / float64(maxI(b.TauMax, 1))
+	return frac * b.Spec.ThetaMax
+}
+
+func specNames(specs []dataset.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

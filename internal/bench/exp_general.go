@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+	"cardnet/internal/metrics"
+	"cardnet/internal/simselect"
+)
+
+// RunFig1 reproduces Figure 1 on an ImageNet-style binary-code dataset:
+// (a) the cardinality of `nCurves` random queries at every threshold, and
+// (b) the fraction of queries per cardinality magnitude at several
+// thresholds.
+func RunFig1(w io.Writer, spec dataset.Spec, nCurves, nQueries int) {
+	m := dataset.Generate(spec)
+	ix := simselect.NewHammingIndex(m.Bits)
+	maxTheta := int(spec.ThetaMax)
+
+	t := newTable("Figure 1(a): cardinality vs threshold",
+		append([]string{"Threshold"}, queryNames(nCurves)...)...)
+	curves := make([][]int, nCurves)
+	for qi := 0; qi < nCurves; qi++ {
+		curves[qi] = ix.CountAtEach(m.Bits[qi*37%len(m.Bits)], maxTheta)
+	}
+	for theta := 0; theta <= maxTheta; theta += maxI(maxTheta/10, 1) {
+		cells := []string{fmt.Sprintf("%d", theta)}
+		for qi := 0; qi < nCurves; qi++ {
+			cells = append(cells, fmt.Sprintf("%d", curves[qi][theta]))
+		}
+		t.add(cells...)
+	}
+	t.render(w)
+
+	// (b) Percentage of queries per cardinality decade at several thresholds.
+	thetas := []int{maxTheta / 5, 2 * maxTheta / 5, 3 * maxTheta / 5, 4 * maxTheta / 5}
+	t2 := newTable("Figure 1(b): share of queries per cardinality decade",
+		"Threshold", "[1,10)", "[10,100)", "[100,1k)", ">=1k")
+	if nQueries > len(m.Bits) {
+		nQueries = len(m.Bits)
+	}
+	for _, theta := range thetas {
+		var buckets [4]int
+		for qi := 0; qi < nQueries; qi++ {
+			c := ix.Count(m.Bits[qi], float64(theta))
+			switch {
+			case c < 10:
+				buckets[0]++
+			case c < 100:
+				buckets[1]++
+			case c < 1000:
+				buckets[2]++
+			default:
+				buckets[3]++
+			}
+		}
+		t2.addf("%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%", theta,
+			100*float64(buckets[0])/float64(nQueries),
+			100*float64(buckets[1])/float64(nQueries),
+			100*float64(buckets[2])/float64(nQueries),
+			100*float64(buckets[3])/float64(nQueries))
+	}
+	t2.render(w)
+}
+
+func queryNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Query %d", i+1)
+	}
+	return out
+}
+
+// RenderDatasetStats prints the Table 2-style statistics of the generated
+// datasets.
+func RenderDatasetStats(w io.Writer, specs []dataset.Spec) {
+	t := newTable("Table 2: dataset statistics (synthetic analogues)",
+		"Dataset", "Type", "#Records", "lmax", "lavg", "thetaMax")
+	for _, spec := range specs {
+		m := dataset.Generate(spec)
+		lmax, lavg := lengthStats(m)
+		t.addf("%s\t%s\t%d\t%d\t%.2f\t%v", spec.Name, spec.Kind, m.Len(), lmax, lavg, spec.ThetaMax)
+	}
+	t.render(w)
+}
+
+func lengthStats(m *dataset.Materialized) (lmax int, lavg float64) {
+	add := func(l int) {
+		if l > lmax {
+			lmax = l
+		}
+		lavg += float64(l)
+	}
+	switch m.Spec.Kind {
+	case dataset.HM:
+		for _, r := range m.Bits {
+			add(r.Len)
+		}
+	case dataset.ED:
+		for _, r := range m.Strings {
+			add(len(r))
+		}
+	case dataset.JC:
+		for _, r := range m.Sets {
+			add(len(r))
+		}
+	default:
+		for _, r := range m.Vecs {
+			add(len(r))
+		}
+	}
+	if n := m.Len(); n > 0 {
+		lavg /= float64(n)
+	}
+	return lmax, lavg
+}
+
+// RunFig10 evaluates models on out-of-dataset queries (Section 9.10),
+// reporting MSE per cardinality bucket as in Figure 10.
+func RunFig10(specs []dataset.Spec, names []string, opts Options) map[string]map[string]map[string]float64 {
+	if names == nil {
+		names = []string{NameCardNet, NameCardNetA, "DL-DLN", "TL-XGB", "DB-US", "DL-RMI", "DL-MoE"}
+	}
+	out := map[string]map[string]map[string]float64{}
+	for _, spec := range specs {
+		s := BuildSuite(spec, opts)
+		b := s.Bundle
+		// Fit models on the in-dataset workload first, then swap the test
+		// queries for far out-of-dataset ones.
+		for _, name := range names {
+			if h := s.Handle(name); h != nil {
+				h.Fit()
+			}
+		}
+		keep := b.TestX.Rows
+		b.UseOutOfDatasetQueries(10*keep, keep, opts.Seed+21)
+
+		actual := b.Actuals()
+		sorted := append([]float64(nil), actual...)
+		sort.Float64s(sorted)
+		q := func(p float64) float64 { return sorted[int(p*float64(len(sorted)-1))] }
+		cuts := []float64{q(0.25), q(0.5), q(0.75)}
+		lbls := []string{"Q1", "Q2", "Q3", "Q4(tail)"}
+		bucket := func(v float64) int {
+			for i, c := range cuts {
+				if v < c {
+					return i
+				}
+			}
+			return 3
+		}
+
+		out[spec.Name] = map[string]map[string]float64{}
+		for _, name := range names {
+			h := s.Handle(name)
+			if h == nil {
+				continue
+			}
+			est := b.Estimates(h)
+			keys := make([]int, len(b.Points))
+			for i := range b.Points {
+				keys[i] = bucket(actual[i])
+			}
+			groups := metrics.GroupByKey(keys, actual, est)
+			out[spec.Name][name] = map[string]float64{}
+			for k, rep := range groups {
+				out[spec.Name][name][lbls[k]] = rep.MSE
+			}
+		}
+	}
+	return out
+}
+
+// PolicyResult holds Tables 14–16: MSE for one (train policy, model,
+// dataset) cell, always tested on multiple uniform samples.
+type PolicyResult struct {
+	Policy  Policy
+	Dataset string
+	Model   string
+	MSE     float64
+}
+
+// RunPolicies evaluates the Section 9.12 sampling-policy grid: training
+// workloads built with each policy, all tested on multiple uniform samples.
+func RunPolicies(specs []dataset.Spec, names []string, policies []Policy, opts Options) []PolicyResult {
+	if names == nil {
+		names = []string{NameCardNet, NameCardNetA, "DL-RMI", "TL-XGB", "DB-US"}
+	}
+	if policies == nil {
+		policies = []Policy{SingleUniform, MultipleUniform, SingleSkewed}
+	}
+	var out []PolicyResult
+	for _, spec := range specs {
+		for _, pol := range policies {
+			o := opts
+			o.Policy = pol
+			o.TestMultiUniform = true
+			s := BuildSuite(spec, o)
+			b := s.Bundle
+			actual := b.Actuals()
+			for _, name := range names {
+				h := s.Handle(name)
+				if h == nil {
+					continue
+				}
+				out = append(out, PolicyResult{
+					Policy:  pol,
+					Dataset: spec.Name,
+					Model:   name,
+					MSE:     metrics.MSE(actual, b.Estimates(h)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RenderPolicies prints the Tables 14–16 analogue.
+func RenderPolicies(w io.Writer, res []PolicyResult) {
+	polName := map[Policy]string{
+		SingleUniform:   "Table 14: trained single uniform",
+		MultipleUniform: "Table 15: trained multiple uniform",
+		SingleSkewed:    "Table 16: trained single skewed",
+	}
+	for _, pol := range []Policy{SingleUniform, MultipleUniform, SingleSkewed} {
+		t := newTable(polName[pol]+" / tested multiple uniform (MSE)", "Dataset", "Model", "MSE")
+		for _, r := range res {
+			if r.Policy != pol {
+				continue
+			}
+			t.addf("%s\t%s\t%s", r.Dataset, r.Model, f2(r.MSE))
+		}
+		if len(t.rows) > 0 {
+			t.render(w)
+		}
+	}
+}
+
+// RenderTable13 prints the k-medoids cluster sizes of each dataset.
+func RenderTable13(w io.Writer, specs []dataset.Spec, sample int) {
+	t := newTable("Table 13: k-medoids cluster sizes (descending, on a sample)",
+		"Dataset", "1st", "2nd", "3rd", "4th", "5th", "6th", "7th", "8th")
+	for _, spec := range specs {
+		m := dataset.Generate(spec)
+		n := m.Len()
+		if sample < n {
+			n = sample
+		}
+		d := distFuncFor(m)
+		_, assign := dataset.KMedoids(n, 8, d, 4, spec.Seed)
+		sizes := dataset.ClusterSizes(assign, 8)
+		cells := []string{spec.Name}
+		for _, sz := range sizes {
+			cells = append(cells, fmt.Sprintf("%d", sz))
+		}
+		t.add(cells...)
+	}
+	t.render(w)
+}
+
+// distFuncFor returns an index-based distance over a materialized dataset.
+func distFuncFor(m *dataset.Materialized) func(i, j int) float64 {
+	switch m.Spec.Kind {
+	case dataset.HM:
+		return func(i, j int) float64 { return float64(dist.Hamming(m.Bits[i], m.Bits[j])) }
+	case dataset.ED:
+		return func(i, j int) float64 { return float64(dist.Edit(m.Strings[i], m.Strings[j])) }
+	case dataset.JC:
+		return func(i, j int) float64 { return dist.Jaccard(m.Sets[i], m.Sets[j]) }
+	default:
+		return func(i, j int) float64 { return dist.Euclidean(m.Vecs[i], m.Vecs[j]) }
+	}
+}

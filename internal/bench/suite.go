@@ -1,0 +1,236 @@
+// Package bench is the experiment harness: it prepares workloads (datasets,
+// feature extraction, exact labels, splits), trains every model of Section
+// 9.1.2 behind uniform handles, and regenerates each table and figure of the
+// paper's evaluation as text output. cmd/cardbench and the repository-root
+// benchmarks drive it.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cardnet/internal/core"
+	"cardnet/internal/dataset"
+	"cardnet/internal/tensor"
+)
+
+// Options scales a workload build. The zero value plus Quick=true gives the
+// test-sized profile.
+type Options struct {
+	NOverride    int     // records (0 = spec default)
+	QueryFrac    float64 // workload fraction of the dataset (paper: 0.10)
+	GridPoints   int     // threshold-grid resolution for labels
+	TestPerQuery int     // random test thresholds per test query
+	TauMax       int     // decoder budget (0 = per-kind default)
+	Policy       Policy  // training workload sampling policy (Section 9.12)
+	// TestMultiUniform tests on a fresh multiple-uniform-sample workload
+	// regardless of Policy (Tables 14–16).
+	TestMultiUniform bool
+	Quick            bool // small model configs for fast runs
+	// EpochOverride caps every model's training epochs (0 = profile
+	// default); unit tests and testing.B benchmarks use it to stay fast.
+	EpochOverride int
+	Seed          int64
+	SampleRatio   float64 // DB-US sample ratio (default 0.05)
+}
+
+// Policy selects the workload-construction policy of Section 9.12.
+type Policy int
+
+// Workload sampling policies.
+const (
+	SingleUniform Policy = iota
+	MultipleUniform
+	SingleSkewed
+)
+
+// DefaultOptions mirrors Section 6.1 at reduced scale.
+func DefaultOptions() Options {
+	return Options{QueryFrac: 0.10, GridPoints: 20, TestPerQuery: 8, Quick: true, Seed: 7, SampleRatio: 0.05}
+}
+
+// TestPoint is one evaluated (query, threshold) pair.
+type TestPoint struct {
+	Query  int // row into the bundle's test matrices
+	Theta  float64
+	Tau    int
+	Actual float64
+}
+
+// recordModel is a type-erased record-space estimator (DB-SE, DB-US,
+// TL-KDE, and the SimSelect oracle).
+type recordModel struct {
+	name     string
+	estimate func(qi int, theta float64) float64
+	size     int
+}
+
+// Bundle is one fully prepared workload: encoded train/valid sets, encoded
+// test queries, labelled test points, and the record-space models that need
+// access to original records.
+type Bundle struct {
+	Spec    dataset.Spec
+	TauMax  int
+	Grid    []float64
+	Train   *core.TrainSet
+	Valid   *core.TrainSet
+	TestX   *tensor.Matrix
+	Points  []TestPoint
+	NumRecs int
+
+	// AltTrain/AltValid/AltTestX hold the replaced-feature-extraction
+	// variant for the Table 7 ablation (nil for Hamming, whose features are
+	// already the identity).
+	AltTrain, AltValid *core.TrainSet
+	AltTestX           *tensor.Matrix
+
+	// Raw record slices (typed per kind, e.g. []string for ED), for models
+	// that bypass feature extraction entirely (DL-BiLSTM). TrainRecords and
+	// ValidRecords parallel the Train/Valid rows; TestRecords parallels
+	// TestX rows and is refreshed by UseOutOfDatasetQueries.
+	TrainRecords, ValidRecords, TestRecords any
+
+	// EncodeRecord encodes a record of the bundle's concrete kind (e.g. a
+	// []float64 for Euclidean bundles) into the model feature space;
+	// ThresholdOf is the bundle's h_thr. They let the optimizer case studies
+	// estimate on fresh queries outside the prepared test set.
+	EncodeRecord func(rec any) []float64
+	ThresholdOf  func(theta float64) int
+
+	recordModels []recordModel
+	simSelect    func(qi int, theta float64) float64
+	labelTime    time.Duration
+	swapOOD      func(candidates, keep int, seed int64)
+}
+
+// UseOutOfDatasetQueries replaces the test workload with Section 9.10's far
+// out-of-dataset queries: `keep` queries selected from `candidates` random
+// ones by largest sum of squared distances to k-medoid centroids. Trained
+// models are untouched; only the evaluation points change.
+func (b *Bundle) UseOutOfDatasetQueries(candidates, keep int, seed int64) {
+	b.swapOOD(candidates, keep, seed)
+}
+
+// Handle wraps one model behind a uniform fit/estimate interface.
+type Handle struct {
+	Name      string
+	Monotone  bool
+	TrainTime time.Duration
+
+	fit      func()
+	estimate func(tp TestPoint) float64
+	size     func() int
+	fitted   bool
+}
+
+// Fit trains the model once; later calls are no-ops.
+func (h *Handle) Fit() {
+	if h.fitted {
+		return
+	}
+	start := time.Now()
+	if h.fit != nil {
+		h.fit()
+	}
+	h.TrainTime = time.Since(start)
+	h.fitted = true
+}
+
+// Estimate evaluates the model at a test point (Fit first if needed).
+func (h *Handle) Estimate(tp TestPoint) float64 {
+	h.Fit()
+	v := h.estimate(tp)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// SizeBytes reports the model size after fitting.
+func (h *Handle) SizeBytes() int {
+	h.Fit()
+	if h.size == nil {
+		return 0
+	}
+	return h.size()
+}
+
+// Suite couples a bundle with all model handles.
+type Suite struct {
+	Bundle  *Bundle
+	Handles []*Handle
+}
+
+// Handle returns the named handle or nil.
+func (s *Suite) Handle(name string) *Handle {
+	for _, h := range s.Handles {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Actuals extracts the ground-truth cardinalities of the bundle's points.
+func (b *Bundle) Actuals() []float64 {
+	out := make([]float64, len(b.Points))
+	for i, p := range b.Points {
+		out[i] = p.Actual
+	}
+	return out
+}
+
+// Estimates evaluates a handle over all points.
+func (b *Bundle) Estimates(h *Handle) []float64 {
+	out := make([]float64, len(b.Points))
+	for i, p := range b.Points {
+		out[i] = h.Estimate(p)
+	}
+	return out
+}
+
+// cardNetConfig returns the CardNet hyperparameters for this options
+// profile.
+func cardNetConfig(opts Options, tauMax int, accel bool) core.Config {
+	cfg := core.DefaultConfig(tauMax)
+	cfg.Accel = accel
+	cfg.Seed = opts.Seed
+	if opts.Quick {
+		cfg.VAEHidden = []int{32}
+		cfg.VAELatent = 8
+		cfg.VAEEpochs = 10
+		cfg.PhiHidden = []int{96, 64}
+		cfg.ZDim = 24
+		cfg.Epochs = 60
+		cfg.LR = 2e-3
+		cfg.Patience = 20
+	}
+	if opts.EpochOverride > 0 {
+		cfg.Epochs = opts.EpochOverride
+		if cfg.VAEEpochs > opts.EpochOverride {
+			cfg.VAEEpochs = opts.EpochOverride
+		}
+	}
+	return cfg
+}
+
+// testThetas draws k uniform thresholds in [0, θmax] (Section 6.1 tests on
+// thresholds not restricted to the training grid) and always includes θmax.
+func testThetas(rng *rand.Rand, thetaMax float64, k int, integerValued bool) []float64 {
+	out := make([]float64, 0, k)
+	for len(out) < k-1 {
+		t := rng.Float64() * thetaMax
+		if integerValued {
+			t = float64(int(t))
+		}
+		out = append(out, t)
+	}
+	out = append(out, thetaMax)
+	return out
+}
+
+// String renders options compactly for logs.
+func (o Options) String() string {
+	return fmt.Sprintf("n=%d frac=%.2f grid=%d quick=%v policy=%d", o.NOverride, o.QueryFrac, o.GridPoints, o.Quick, o.Policy)
+}

@@ -1,0 +1,564 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"cardnet/internal/nn"
+	"cardnet/internal/tensor"
+)
+
+// Model is a trained (or trainable) CardNet / CardNet-A regressor over
+// binary feature vectors of a fixed dimensionality.
+type Model struct {
+	Cfg    Config
+	InDim  int
+	TauTop int // largest τ seen in training; Estimate clamps to it
+
+	vae   *nn.VAE
+	emb   *nn.Param      // E, (TauMax+1)·EmbDim, column i = distance embedding eᵢ
+	phi   *nn.Sequential // standard shared encoder
+	accel *accelEncoder  // fused encoder for CardNet-A
+	decW  *nn.Param      // (TauMax+1)·ZDim decoder weights
+	decB  *nn.Param      // TauMax+1 decoder biases
+}
+
+// New constructs an untrained model for inDim-bit feature vectors.
+func New(cfg Config, inDim int) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, InDim: inDim, TauTop: cfg.TauMax}
+	if cfg.VAELatent > 0 {
+		m.vae = nn.NewVAE(rng, inDim, cfg.VAEHidden, cfg.VAELatent)
+	}
+	tauCount := cfg.TauMax + 1
+	m.emb = &nn.Param{Name: "E",
+		Value: make([]float64, tauCount*cfg.EmbDim),
+		Grad:  make([]float64, tauCount*cfg.EmbDim)}
+	tensor.RandNormal(rng, m.emb.Value, 0, 1) // E initialized from N(0,1), Section 5.2.2
+
+	xpDim := inDim + cfg.VAELatent
+	if cfg.Accel {
+		m.accel = newAccelEncoder(rng, xpDim, cfg.PhiHidden, cfg.ZDim, tauCount)
+	} else {
+		dims := append([]int{xpDim + cfg.EmbDim}, cfg.PhiHidden...)
+		dims = append(dims, cfg.ZDim)
+		m.phi = nn.NewMLP(rng, dims, nn.ReLU, nn.ReLU)
+	}
+	m.decW = &nn.Param{Name: "decW",
+		Value: make([]float64, tauCount*cfg.ZDim),
+		Grad:  make([]float64, tauCount*cfg.ZDim)}
+	tensor.GlorotUniform(rng, m.decW.Value, cfg.ZDim, 1)
+	m.decB = &nn.Param{Name: "decB",
+		Value: make([]float64, tauCount),
+		Grad:  make([]float64, tauCount)}
+	return m
+}
+
+// Params returns every learnable parameter of the model.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	if m.vae != nil {
+		ps = m.vae.Params()
+	}
+	ps = append(ps, m.emb)
+	if m.Cfg.Accel {
+		ps = append(ps, m.accel.Params()...)
+	} else {
+		ps = append(ps, m.phi.Params()...)
+	}
+	return append(ps, m.decW, m.decB)
+}
+
+// SizeBytes reports the serialized parameter size (paper Table 9).
+func (m *Model) SizeBytes() int { return nn.ParamBytes(m.Params()) }
+
+// tauCount is the number of decoders.
+func (m *Model) tauCount() int { return m.Cfg.TauMax + 1 }
+
+// embedding returns distance embedding eᵢ.
+func (m *Model) embedding(i int) []float64 {
+	return m.emb.Value[i*m.Cfg.EmbDim : (i+1)*m.Cfg.EmbDim]
+}
+
+// fwd carries the tensors of one forward pass over a batch of queries.
+type fwd struct {
+	x      *tensor.Matrix // B × InDim inputs
+	vaeOut *nn.VAEOutput  // nil in deterministic mode
+	xp     *tensor.Matrix // B × (InDim+Latent) concatenated x′
+	z      *tensor.Matrix // B·tauCount × ZDim embeddings
+	pre    *tensor.Matrix // B × tauCount decoder pre-activations
+	c      *tensor.Matrix // B × tauCount per-distance predictions ĉᵢ
+}
+
+// forward runs the encoder and decoders. train selects the stochastic VAE
+// path (reparameterized latent); inference uses the deterministic mean
+// latent so the model satisfies Lemma 2's determinism requirement.
+func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
+	f := &fwd{x: x}
+	b := x.Rows
+	if m.vae == nil {
+		// VAE-ablated variant: x′ is the raw binary vector.
+		f.xp = x
+	} else {
+		var latent *tensor.Matrix
+		if train {
+			f.vaeOut = m.vae.ForwardTrain(x, rng)
+			latent = f.vaeOut.Z
+		} else {
+			latent = m.vae.Mean(x)
+		}
+		f.xp = tensor.NewMatrix(b, m.InDim+m.Cfg.VAELatent)
+		for e := 0; e < b; e++ {
+			copy(f.xp.Row(e)[:m.InDim], x.Row(e))
+			copy(f.xp.Row(e)[m.InDim:], latent.Row(e))
+		}
+	}
+
+	t := m.tauCount()
+	if m.Cfg.Accel {
+		f.z = m.accel.Forward(f.xp, train)
+	} else {
+		in := tensor.NewMatrix(b*t, f.xp.Cols+m.Cfg.EmbDim)
+		for e := 0; e < b; e++ {
+			for i := 0; i < t; i++ {
+				row := in.Row(e*t + i)
+				copy(row[:f.xp.Cols], f.xp.Row(e))
+				copy(row[f.xp.Cols:], m.embedding(i))
+			}
+		}
+		f.z = m.phi.Forward(in, train)
+	}
+
+	// Decoders: ĉᵢ = ReLU(wᵢᵀ·zᵢ + bᵢ).
+	f.pre = tensor.NewMatrix(b, t)
+	f.c = tensor.NewMatrix(b, t)
+	for e := 0; e < b; e++ {
+		for i := 0; i < t; i++ {
+			w := m.decW.Value[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
+			v := tensor.Dot(w, f.z.Row(e*t+i)) + m.decB.Value[i]
+			f.pre.Set(e, i, v)
+			if v > 0 {
+				f.c.Set(e, i, v)
+			}
+		}
+	}
+	return f
+}
+
+// backward pushes dL/dĉ (B × tauCount) through decoders, encoder, and VAE,
+// accumulating parameter gradients. vaeScale is λ (Eq. 2); zero skips the
+// VAE's own loss but still propagates the regression gradient through it.
+func (m *Model) backward(f *fwd, dc *tensor.Matrix, vaeScale float64) {
+	b := f.x.Rows
+	t := m.tauCount()
+	dz := tensor.NewMatrix(b*t, m.Cfg.ZDim)
+	for e := 0; e < b; e++ {
+		for i := 0; i < t; i++ {
+			g := dc.At(e, i)
+			if g == 0 || f.pre.At(e, i) <= 0 {
+				continue // ReLU gate
+			}
+			w := m.decW.Value[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
+			gw := m.decW.Grad[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
+			zrow := f.z.Row(e*t + i)
+			tensor.Axpy(g, zrow, gw)
+			m.decB.Grad[i] += g
+			tensor.Axpy(g, w, dz.Row(e*t+i))
+		}
+	}
+
+	var dxp *tensor.Matrix
+	if m.Cfg.Accel {
+		dxp = m.accel.Backward(dz)
+	} else {
+		din := m.phi.Backward(dz) // B·t × (xp+emb)
+		dxp = tensor.NewMatrix(b, f.xp.Cols)
+		for e := 0; e < b; e++ {
+			for i := 0; i < t; i++ {
+				row := din.Row(e*t + i)
+				tensor.Axpy(1, row[:f.xp.Cols], dxp.Row(e))
+				ge := m.emb.Grad[i*m.Cfg.EmbDim : (i+1)*m.Cfg.EmbDim]
+				tensor.Axpy(1, row[f.xp.Cols:], ge)
+			}
+		}
+	}
+
+	if m.vae == nil {
+		return
+	}
+	// Split x′ gradient: the raw-x part is input data; the latent part
+	// flows back into the VAE together with λ·L_vae.
+	dzvae := tensor.NewMatrix(b, m.Cfg.VAELatent)
+	for e := 0; e < b; e++ {
+		copy(dzvae.Row(e), dxp.Row(e)[m.InDim:])
+	}
+	m.vae.Backward(f.vaeOut, f.x, vaeScale, dzvae)
+}
+
+// EstimateEncoded returns the deterministic cardinality estimate for an
+// already-encoded binary feature vector and transformed threshold τ. The
+// result is monotonically non-decreasing in τ.
+func (m *Model) EstimateEncoded(x []float64, tau int) float64 {
+	if len(x) != m.InDim {
+		panic(fmt.Sprintf("core: feature dim %d, model expects %d", len(x), m.InDim))
+	}
+	if tau < 0 {
+		return 0
+	}
+	if tau > m.Cfg.TauMax {
+		tau = m.Cfg.TauMax
+	}
+	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
+	f := m.forward(xm, false, nil)
+	var sum float64
+	for i := 0; i <= tau; i++ {
+		sum += f.c.At(0, i)
+	}
+	return sum
+}
+
+// EstimateAllTaus returns the estimate at every τ in [0, TauMax] for one
+// encoded query with a single forward pass (the prefix sums of ĉᵢ).
+func (m *Model) EstimateAllTaus(x []float64) []float64 {
+	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
+	f := m.forward(xm, false, nil)
+	out := make([]float64, m.tauCount())
+	var sum float64
+	for i := range out {
+		sum += f.c.At(0, i)
+		out[i] = sum
+	}
+	return out
+}
+
+// TrainResult reports what happened during Train.
+type TrainResult struct {
+	Epochs         int
+	BestValidMSLE  float64
+	FinalTrainLoss float64
+}
+
+// Train fits the model: the VAE is pretrained unsupervised for
+// cfg.VAEEpochs, then the full model trains jointly on the MSLE loss with
+// the dynamically re-weighted per-distance term (Section 6.2). valid may be
+// nil (no early stopping or ω updates then). Labels beyond train.TauTop are
+// never formed; the model's decoders above it stay at their initialization
+// and contribute ReLU(b)=0 after training pushes biases down, so estimates
+// remain monotone regardless.
+func (m *Model) Train(train, valid *TrainSet) TrainResult {
+	cfg := m.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	m.TauTop = train.TauTop
+	if m.vae != nil {
+		m.vae.Pretrain(train.X, cfg.VAEEpochs, cfg.Batch, cfg.LR, rng)
+	}
+
+	params := m.Params()
+	opt := nn.NewAdam(params, cfg.LR)
+
+	t := m.tauCount()
+	top := train.TauTop
+	if top > cfg.TauMax {
+		top = cfg.TauMax
+	}
+
+	// Dynamic per-distance weights ω, uniform at start (Σω = 1).
+	omega := make([]float64, t)
+	for i := 0; i <= top; i++ {
+		omega[i] = 1 / float64(top+1)
+	}
+	prevValidPerDist := make([]float64, t)
+	havePrev := false
+
+	res := TrainResult{BestValidMSLE: math.Inf(1)}
+	var best *nn.Snapshot
+	badStreak := 0
+
+	perm := make([]int, train.NumQueries())
+	for e := range perm {
+		perm[e] = e
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(perm); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			rows := perm[start:end]
+			xb := tensor.NewMatrix(len(rows), train.X.Cols)
+			lb := tensor.NewMatrix(len(rows), train.Labels.Cols)
+			for i, r := range rows {
+				copy(xb.Row(i), train.X.Row(r))
+				copy(lb.Row(i), train.Labels.Row(r))
+			}
+			loss := m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+			epochLoss += loss
+			batches++
+		}
+		if batches > 0 {
+			res.FinalTrainLoss = epochLoss / float64(batches)
+		}
+		res.Epochs = epoch + 1
+
+		if valid == nil {
+			continue
+		}
+		vl, perDist := m.validate(valid, top)
+		// Dynamic training: shift ω toward distances whose validation loss
+		// is trending up (Section 6.2).
+		if havePrev {
+			var sumPos float64
+			deltas := make([]float64, t)
+			for i := 0; i <= top; i++ {
+				d := perDist[i] - prevValidPerDist[i]
+				if d > 0 {
+					deltas[i] = d
+					sumPos += d
+				}
+			}
+			for i := 0; i <= top; i++ {
+				if sumPos > 0 {
+					omega[i] = deltas[i] / sumPos
+				} else {
+					omega[i] = 0
+				}
+			}
+		}
+		copy(prevValidPerDist, perDist)
+		havePrev = true
+
+		if vl < res.BestValidMSLE-1e-9 {
+			res.BestValidMSLE = vl
+			best = nn.TakeSnapshot(params)
+			badStreak = 0
+		} else {
+			badStreak++
+			if cfg.Patience > 0 && badStreak >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if best != nil {
+		if err := best.Restore(params); err != nil {
+			panic("core: snapshot restore failed: " + err.Error())
+		}
+	}
+	return res
+}
+
+// trainBatch runs one optimizer step on a batch and returns its loss. The
+// batch is trained on every τ ∈ [0, top] simultaneously: since
+// ĉ(x,τ) = Σ_{i≤τ} ĉᵢ, the gradient of Σ_τ P(τ)·MSLE(ĉ(τ), c(τ)) w.r.t. ĉᵢ
+// is the tail sum over τ ≥ i, to which the per-distance term λΔ·ωᵢ·MSLE(ĉᵢ,
+// cᵢ) is added (Equations 2–3).
+func (m *Model) trainBatch(x, labels *tensor.Matrix, p, omega []float64, top int, opt nn.Optimizer, rng *rand.Rand) float64 {
+	b := x.Rows
+	f := m.forward(x, true, rng)
+	t := m.tauCount()
+
+	dc := tensor.NewMatrix(b, t)
+	var loss float64
+	nTotal := b * (top + 1)
+	for e := 0; e < b; e++ {
+		lrow := labels.Row(e)
+		// Prefix sums of per-distance predictions.
+		var cum float64
+		cums := make([]float64, top+1)
+		for i := 0; i <= top; i++ {
+			cum += f.c.At(e, i)
+			cums[i] = cum
+		}
+		// Total-cardinality MSLE, weighted by P(τ) (Eq. 2 expectation).
+		var prev float64
+		for tau := 0; tau <= top; tau++ {
+			w := p[tau] * float64(top+1) // normalize so uniform P has weight 1
+			d := logErr(cums[tau], lrow[tau])
+			loss += w * d * d / float64(nTotal)
+			g := w * msleGrad(cums[tau], lrow[tau], nTotal)
+			// dĉ(τ)/dĉᵢ = 1 for all i ≤ τ.
+			for i := 0; i <= tau; i++ {
+				dc.Data[e*t+i] += g
+			}
+			// Per-distance term (Eq. 3).
+			ci := lrow[tau] - prev
+			prev = lrow[tau]
+			if m.Cfg.LambdaDelta > 0 && omega[tau] > 0 {
+				d := logErr(f.c.At(e, tau), ci)
+				loss += m.Cfg.LambdaDelta * omega[tau] * d * d / float64(b)
+				dc.Data[e*t+tau] += m.Cfg.LambdaDelta * omega[tau] * msleGrad(f.c.At(e, tau), ci, b)
+			}
+		}
+	}
+	// VAE loss contribution (for reporting; its gradient is added in
+	// backward via vaeScale=λ).
+	if m.Cfg.Lambda > 0 && m.vae != nil {
+		recon, kl := m.vae.Loss(f.vaeOut, x)
+		loss += m.Cfg.Lambda * (recon + kl)
+	}
+
+	m.backward(f, dc, m.Cfg.Lambda)
+	if m.Cfg.ClipNorm > 0 {
+		nn.ClipGradNorm(m.Params(), m.Cfg.ClipNorm)
+	}
+	opt.Step()
+	return loss
+}
+
+// validate returns the validation MSLE over all (query, τ) pairs weighted by
+// P(τ), plus the per-distance MSLE vector ℓᵢ used by dynamic training.
+func (m *Model) validate(valid *TrainSet, top int) (float64, []float64) {
+	t := m.tauCount()
+	perDistSum := make([]float64, t)
+	perDistN := make([]int, t)
+	var total float64
+	var n int
+	for e := 0; e < valid.NumQueries(); e++ {
+		ests := m.EstimateAllTaus(valid.X.Row(e))
+		lrow := valid.Labels.Row(e)
+		var prevL, prevE float64
+		for tau := 0; tau <= top && tau < len(lrow); tau++ {
+			d := logErr(ests[tau], lrow[tau])
+			total += valid.P[tau] * float64(top+1) * d * d
+			n++
+			ci := lrow[tau] - prevL
+			ei := ests[tau] - prevE
+			prevL, prevE = lrow[tau], ests[tau]
+			pd := logErr(ei, ci)
+			perDistSum[tau] += pd * pd
+			perDistN[tau]++
+		}
+	}
+	for i := range perDistSum {
+		if perDistN[i] > 0 {
+			perDistSum[i] /= float64(perDistN[i])
+		}
+	}
+	if n == 0 {
+		return 0, perDistSum
+	}
+	return total / float64(n), perDistSum
+}
+
+// IncrementalResult reports an incremental-learning run (Section 8).
+type IncrementalResult struct {
+	Epochs    int
+	ValidMSLE float64
+	Skipped   bool // validation error had not degraded, no training needed
+}
+
+// IncrementalTrain implements the update procedure of Section 8: it checks
+// the model's error on the relabeled validation set; if it has not degraded
+// beyond prevValidMSLE it returns immediately, otherwise it continues
+// training from the current weights on the relabeled training data until the
+// validation error is stable for three consecutive epochs. The original
+// queries are kept; only labels change.
+func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) IncrementalResult {
+	cfg := m.Cfg
+	top := train.TauTop
+	if top > cfg.TauMax {
+		top = cfg.TauMax
+	}
+	cur, _ := m.validate(valid, top)
+	if cur <= prevValidMSLE*1.02+1e-12 {
+		return IncrementalResult{ValidMSLE: cur, Skipped: true}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	params := m.Params()
+	opt := nn.NewAdam(params, cfg.LR)
+	omega := make([]float64, m.tauCount())
+	for i := 0; i <= top; i++ {
+		omega[i] = 1 / float64(top+1)
+	}
+	perm := make([]int, train.NumQueries())
+	for i := range perm {
+		perm[i] = i
+	}
+
+	res := IncrementalResult{ValidMSLE: cur}
+	stable := 0
+	last := cur
+	for epoch := 0; epoch < 4*cfg.Epochs && stable < 3; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for start := 0; start < len(perm); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			rows := perm[start:end]
+			xb := tensor.NewMatrix(len(rows), train.X.Cols)
+			lb := tensor.NewMatrix(len(rows), train.Labels.Cols)
+			for i, r := range rows {
+				copy(xb.Row(i), train.X.Row(r))
+				copy(lb.Row(i), train.Labels.Row(r))
+			}
+			m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+		}
+		res.Epochs = epoch + 1
+		vl, _ := m.validate(valid, top)
+		if math.Abs(vl-last) < 1e-2*(1+last) {
+			stable++
+		} else {
+			stable = 0
+		}
+		last = vl
+		res.ValidMSLE = vl
+	}
+	return res
+}
+
+// logErr is log(1+max(p,0)) − log(1+max(y,0)).
+func logErr(p, y float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	return math.Log1p(p) - math.Log1p(y)
+}
+
+// msleGrad is the derivative of logErr² w.r.t. p, divided by n.
+func msleGrad(p, y float64, n int) float64 {
+	pc := p
+	if pc < 0 {
+		pc = 0
+	}
+	return 2 * logErr(p, y) / (1 + pc) / float64(n)
+}
+
+// modelState is the gob wire format.
+type modelState struct {
+	Cfg    Config
+	InDim  int
+	TauTop int
+	Snap   *nn.Snapshot
+}
+
+// Save serializes the model (config + parameters) with gob.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{Cfg: m.Cfg, InDim: m.InDim, TauTop: m.TauTop, Snap: nn.TakeSnapshot(m.Params())}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, err
+	}
+	m := New(st.Cfg, st.InDim)
+	m.TauTop = st.TauTop
+	if err := st.Snap.Restore(m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,50 @@
+package core
+
+import "cardnet/internal/nn"
+
+// Complexity is the per-component parameter count of a model, reproducing
+// the analysis at the end of paper Section 7: the standard model costs
+// |FNN([x′;eᵢ], z)| + |FNN(x,x)| + (τmax+1)|eᵢ| + (τmax+1)|z| + τmax+1,
+// while the accelerated model replaces the first two terms with |AFNN(x′,Z)|
+// (the fused Φ′, whose last layer fans out to all τmax+1 embeddings).
+type Complexity struct {
+	VAE                int // representation network Γ's generative model
+	DistanceEmbeddings int // E: (τmax+1)·|eᵢ| (zero for CardNet-A, fused into Φ′)
+	Encoder            int // Φ or Φ′
+	Decoders           int // (τmax+1)·(|z|+1)
+	Total              int
+}
+
+// Complexity returns the component parameter counts. The sum always equals
+// the live parameter count, which the tests assert.
+func (m *Model) Complexity() Complexity {
+	var c Complexity
+	if m.vae != nil {
+		c.VAE = nn.NumParams(m.vae.Params())
+	}
+	if m.Cfg.Accel {
+		c.Encoder = nn.NumParams(m.accel.Params())
+		// E exists in both variants (it seeds initialization paths), but the
+		// accelerated forward pass does not read it; count it under
+		// embeddings for an honest total.
+		c.DistanceEmbeddings = len(m.emb.Value)
+	} else {
+		c.Encoder = nn.NumParams(m.phi.Params())
+		c.DistanceEmbeddings = len(m.emb.Value)
+	}
+	c.Decoders = len(m.decW.Value) + len(m.decB.Value)
+	c.Total = c.VAE + c.DistanceEmbeddings + c.Encoder + c.Decoders
+	return c
+}
+
+// InferenceMultiplier reports how many encoder passes one estimate costs:
+// τmax+1 Φ passes for the standard model (this implementation evaluates
+// every decoder so EstimateAllTaus is one call; the paper's bound is τ+1)
+// versus a single fused Φ′ pass for CardNet-A — the O((τ+1)|Φ|) → O(|Φ′|)
+// reduction of Section 7.
+func (m *Model) InferenceMultiplier() int {
+	if m.Cfg.Accel {
+		return 1
+	}
+	return m.Cfg.TauMax + 1
+}

@@ -1,0 +1,86 @@
+// Package core implements the paper's primary contribution: the CardNet
+// regression model (Sections 3, 5–8). Given a binary feature vector x and a
+// transformed threshold τ (produced by internal/feature), the model predicts
+// the selection cardinality as the sum of τ+1 per-distance decoders
+// (Equation 1), which makes the estimate monotonically non-decreasing in τ
+// by construction (Lemma 2):
+//
+//	ĉ(x, τ) = Σ_{i=0..τ} g_i(x),   g_i(x) = ReLU(wᵢᵀ·Ψ(x, i) + bᵢ) ≥ 0.
+//
+// The encoder Ψ concatenates the raw binary vector with a VAE latent code
+// (representation network Γ), appends a learned embedding of distance i, and
+// maps the result through a shared feedforward network Φ (Section 5.2). The
+// accelerated variant CardNet-A replaces Φ and the per-distance pairing with
+// a fused network Φ′ that emits all τmax+1 embeddings in one pass
+// (Section 7). Training minimizes MSLE with the per-distance dynamically
+// re-weighted term of Equation 3, plus λ·L_vae (Equation 2); updates are
+// handled by incremental learning from the current weights (Section 8).
+package core
+
+// Config collects the model and training hyperparameters. Defaults are
+// scaled down from Section 9.1.3 so CPU training finishes in seconds; the
+// architecture is identical.
+type Config struct {
+	TauMax int // number of decoders − 1 (τmax)
+
+	// Representation network Γ: a VAE whose latent is concatenated to x.
+	VAEHidden []int
+	VAELatent int
+	VAEEpochs int
+
+	// Shared encoder network Φ (or fused Φ′ for CardNet-A).
+	PhiHidden []int
+	EmbDim    int // distance-embedding dimensionality (paper: 5)
+	ZDim      int // final embedding dimensionality (paper: 60)
+
+	// Training.
+	Epochs      int
+	Batch       int // queries per batch
+	LR          float64
+	Lambda      float64 // λ, weight of the VAE loss (Eq. 2; paper: 0.1)
+	LambdaDelta float64 // λΔ, weight of the per-distance loss (Eq. 3; paper: 0.1)
+	ClipNorm    float64
+	Patience    int // early-stop after this many non-improving validations (0 = off)
+
+	// Accel selects the CardNet-A fused encoder Φ′ (Section 7).
+	Accel bool
+
+	Seed int64
+}
+
+// DefaultConfig returns the scaled-down default hyperparameters for a model
+// with tauMax+1 decoders.
+func DefaultConfig(tauMax int) Config {
+	return Config{
+		TauMax:      tauMax,
+		VAEHidden:   []int{64, 32},
+		VAELatent:   16,
+		VAEEpochs:   20,
+		PhiHidden:   []int{64, 64},
+		EmbDim:      5,
+		ZDim:        24,
+		Epochs:      40,
+		Batch:       32,
+		LR:          1e-3,
+		Lambda:      0.1,
+		LambdaDelta: 0.1,
+		ClipNorm:    5,
+		Patience:    12,
+		Seed:        1,
+	}
+}
+
+// PaperConfig returns hyperparameters matching Section 9.1.3 (VAE hidden
+// 256/128/128, Φ hidden 512/512/256/256, embedding dim 5, z dim 60). It is
+// provided for completeness; training it on CPU takes hours, as in the
+// paper's Table 10.
+func PaperConfig(tauMax, vaeLatent int) Config {
+	c := DefaultConfig(tauMax)
+	c.VAEHidden = []int{256, 128, 128}
+	c.VAELatent = vaeLatent
+	c.VAEEpochs = 100
+	c.PhiHidden = []int{512, 512, 256, 256}
+	c.ZDim = 60
+	c.Epochs = 800
+	return c
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+	"cardnet/internal/feature"
+	"cardnet/internal/nn"
+	"cardnet/internal/simselect"
+	"cardnet/internal/tensor"
+)
+
+// tinyConfig keeps unit-test training fast.
+func tinyConfig(tauMax int, accel bool) Config {
+	cfg := DefaultConfig(tauMax)
+	cfg.VAEHidden = []int{16}
+	cfg.VAELatent = 6
+	cfg.VAEEpochs = 3
+	cfg.PhiHidden = []int{24, 16}
+	cfg.ZDim = 12
+	cfg.Epochs = 8
+	cfg.Batch = 16
+	cfg.Accel = accel
+	return cfg
+}
+
+// hammingFixture builds a small Hamming workload with exact labels.
+func hammingFixture(t *testing.T, n int) (*TrainSet, *TrainSet, *feature.HammingExtractor, []dist.BitVector) {
+	t.Helper()
+	recs := dataset.BinaryCodes(n, 32, 4, 0.08, 5)
+	ext := feature.NewHammingExtractor(32, 12, 12)
+	ix := simselect.NewHammingIndex(recs)
+	grid := dataset.ThresholdGrid(12, 12)
+	counts := func(q dist.BitVector, g []float64) []int {
+		cum := ix.CountAtEach(q, 12)
+		out := make([]int, len(g))
+		for i, theta := range g {
+			out[i] = cum[int(theta)]
+		}
+		return out
+	}
+	queries := recs[:n/2]
+	train, err := BuildTrainSet[dist.BitVector](ext, queries[:len(queries)*4/5], grid, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := BuildTrainSet[dist.BitVector](ext, queries[len(queries)*4/5:], grid, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, valid, ext, recs
+}
+
+func TestBuildTrainSetShapeAndMonotoneLabels(t *testing.T) {
+	train, _, ext, _ := hammingFixture(t, 200)
+	if train.X.Cols != ext.Dim() {
+		t.Fatalf("X cols=%d", train.X.Cols)
+	}
+	if train.TauTop != 12 {
+		t.Fatalf("TauTop=%d", train.TauTop)
+	}
+	var psum float64
+	for _, p := range train.P {
+		psum += p
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		t.Fatalf("P sums to %v", psum)
+	}
+	for r := 0; r < train.NumQueries(); r++ {
+		row := train.Labels.Row(r)
+		for i := 1; i < len(row); i++ {
+			if row[i] < row[i-1] {
+				t.Fatalf("labels not monotone at row %d", r)
+			}
+		}
+		// Query is in the dataset: distance-0 count ≥ 1.
+		if row[0] < 1 {
+			t.Fatalf("row %d: self-count %v", r, row[0])
+		}
+	}
+}
+
+func TestBuildTrainSetErrors(t *testing.T) {
+	ext := feature.NewHammingExtractor(8, 4, 4)
+	if _, err := BuildTrainSet[dist.BitVector](ext, nil, nil, nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+	if _, err := BuildTrainSet[dist.BitVector](ext, nil, []float64{1, 0}, nil); err == nil {
+		t.Fatal("descending grid must error")
+	}
+	bad := func(q dist.BitVector, g []float64) []int { return []int{1} }
+	_, err := BuildTrainSet[dist.BitVector](ext, []dist.BitVector{dist.NewBitVector(8)},
+		[]float64{0, 1}, bad)
+	if err == nil {
+		t.Fatal("wrong counts length must error")
+	}
+}
+
+func TestPerDistanceLabels(t *testing.T) {
+	ts := &TrainSet{Labels: tensor.FromRows([][]float64{{1, 4, 4, 9}}), TauTop: 3}
+	got := ts.PerDistanceLabels(0)
+	want := []float64{1, 3, 0, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PerDistanceLabels=%v", got)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	train, _, _, _ := hammingFixture(t, 100)
+	s := train.Subset([]int{0, 2})
+	if s.NumQueries() != 2 || s.TauTop != train.TauTop {
+		t.Fatalf("subset wrong: %d queries", s.NumQueries())
+	}
+	for j := 0; j < s.X.Cols; j++ {
+		if s.X.At(1, j) != train.X.At(2, j) {
+			t.Fatal("subset row mismatch")
+		}
+	}
+}
+
+func TestEstimateMonotonicityProperty(t *testing.T) {
+	for _, accel := range []bool{false, true} {
+		m := New(tinyConfig(10, accel), 24)
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			x := make([]float64, 24)
+			for i := range x {
+				if r.Intn(2) == 1 {
+					x[i] = 1
+				}
+			}
+			prev := -1.0
+			for tau := 0; tau <= 10; tau++ {
+				v := m.EstimateEncoded(x, tau)
+				if v < prev-1e-9 || v < 0 || math.IsNaN(v) {
+					return false
+				}
+				prev = v
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("accel=%v: %v", accel, err)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	m := New(tinyConfig(6, false), 16)
+	x := make([]float64, 16)
+	x[3], x[9] = 1, 1
+	a := m.EstimateEncoded(x, 4)
+	b := m.EstimateEncoded(x, 4)
+	if a != b {
+		t.Fatal("inference must be deterministic")
+	}
+}
+
+func TestEstimateAllTausMatchesEstimateEncoded(t *testing.T) {
+	m := New(tinyConfig(8, true), 16)
+	x := make([]float64, 16)
+	x[0], x[5], x[11] = 1, 1, 1
+	all := m.EstimateAllTaus(x)
+	for tau := 0; tau <= 8; tau++ {
+		if math.Abs(all[tau]-m.EstimateEncoded(x, tau)) > 1e-9 {
+			t.Fatalf("mismatch at τ=%d: %v vs %v", tau, all[tau], m.EstimateEncoded(x, tau))
+		}
+	}
+}
+
+func TestEstimateClampsTau(t *testing.T) {
+	m := New(tinyConfig(4, false), 8)
+	x := make([]float64, 8)
+	if m.EstimateEncoded(x, -3) != 0 {
+		t.Fatal("negative τ must estimate 0")
+	}
+	if m.EstimateEncoded(x, 99) != m.EstimateEncoded(x, 4) {
+		t.Fatal("τ above TauMax must clamp")
+	}
+}
+
+func TestEstimateWrongDimPanics(t *testing.T) {
+	m := New(tinyConfig(4, false), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.EstimateEncoded(make([]float64, 5), 1)
+}
+
+// Gradient check of the full model (standard and accelerated) against
+// numerical differentiation of the batch loss.
+func TestModelGradCheck(t *testing.T) {
+	for _, accel := range []bool{false, true} {
+		cfg := tinyConfig(3, accel)
+		cfg.VAEHidden = []int{8}
+		cfg.VAELatent = 4
+		cfg.PhiHidden = []int{10, 8}
+		cfg.ZDim = 6
+		m := New(cfg, 10)
+
+		rng := rand.New(rand.NewSource(3))
+		x := tensor.NewMatrix(4, 10)
+		for i := range x.Data {
+			if rng.Float64() < 0.5 {
+				x.Data[i] = 1
+			}
+		}
+		labels := tensor.NewMatrix(4, 4)
+		for i := range labels.Data {
+			labels.Data[i] = float64(rng.Intn(50))
+		}
+		// Make labels cumulative.
+		for e := 0; e < 4; e++ {
+			row := labels.Row(e)
+			for i := 1; i < len(row); i++ {
+				row[i] += row[i-1]
+			}
+		}
+		p := []float64{0.25, 0.25, 0.25, 0.25}
+		omega := []float64{0.25, 0.25, 0.25, 0.25}
+
+		mkRng := func() *rand.Rand { return rand.New(rand.NewSource(55)) }
+		lossFn := func() float64 {
+			f := m.forward(x, true, mkRng())
+			var loss float64
+			top := 3
+			nTotal := x.Rows * (top + 1)
+			for e := 0; e < x.Rows; e++ {
+				lrow := labels.Row(e)
+				var cum, prev float64
+				for tau := 0; tau <= top; tau++ {
+					cum += f.c.At(e, tau)
+					w := p[tau] * float64(top+1)
+					d := logErr(cum, lrow[tau])
+					loss += w * d * d / float64(nTotal)
+					ci := lrow[tau] - prev
+					prev = lrow[tau]
+					d2 := logErr(f.c.At(e, tau), ci)
+					loss += m.Cfg.LambdaDelta * omega[tau] * d2 * d2 / float64(x.Rows)
+				}
+			}
+			recon, kl := m.vae.Loss(f.vaeOut, x)
+			return loss + m.Cfg.Lambda*(recon+kl)
+		}
+
+		// Analytic gradients via trainBatch's internals: replicate its dc
+		// computation by calling forward+backward directly.
+		nn.NewAdam(m.Params(), 0).ZeroGrad()
+		f := m.forward(x, true, mkRng())
+		dc := tensor.NewMatrix(4, 4)
+		top := 3
+		nTotal := x.Rows * (top + 1)
+		for e := 0; e < x.Rows; e++ {
+			lrow := labels.Row(e)
+			var cum, prev float64
+			cums := make([]float64, top+1)
+			for i := 0; i <= top; i++ {
+				cum += f.c.At(e, i)
+				cums[i] = cum
+			}
+			for tau := 0; tau <= top; tau++ {
+				w := p[tau] * float64(top+1)
+				g := w * msleGrad(cums[tau], lrow[tau], nTotal)
+				for i := 0; i <= tau; i++ {
+					dc.Data[e*4+i] += g
+				}
+				ci := lrow[tau] - prev
+				prev = lrow[tau]
+				dc.Data[e*4+tau] += m.Cfg.LambdaDelta * omega[tau] * msleGrad(f.c.At(e, tau), ci, x.Rows)
+			}
+		}
+		m.backward(f, dc, m.Cfg.Lambda)
+
+		params := m.Params()
+		checked := 0
+		for _, pm := range params {
+			idxs := []int{0, len(pm.Value) / 2}
+			for _, i := range idxs {
+				orig := pm.Value[i]
+				const h = 1e-5
+				pm.Value[i] = orig + h
+				up := lossFn()
+				pm.Value[i] = orig - h
+				down := lossFn()
+				pm.Value[i] = orig
+				num := (up - down) / (2 * h)
+				if math.Abs(num-pm.Grad[i]) > 2e-3*(1+math.Abs(num)) {
+					t.Fatalf("accel=%v param %s[%d]: analytic %v numeric %v", accel, pm.Name, i, pm.Grad[i], num)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no parameters checked")
+		}
+	}
+}
+
+func TestTrainingReducesValidationError(t *testing.T) {
+	train, valid, _, _ := hammingFixture(t, 300)
+	for _, accel := range []bool{false, true} {
+		cfg := tinyConfig(12, accel)
+		cfg.Epochs = 15
+		m := New(cfg, train.X.Cols)
+		before, _ := m.validate(valid, train.TauTop)
+		res := m.Train(train, valid)
+		after, _ := m.validate(valid, train.TauTop)
+		if !(after < before) {
+			t.Fatalf("accel=%v: validation MSLE did not improve: %v -> %v", accel, before, after)
+		}
+		if res.Epochs == 0 || math.IsInf(res.BestValidMSLE, 1) {
+			t.Fatalf("accel=%v: bad result %+v", accel, res)
+		}
+	}
+}
+
+func TestTrainedModelStillMonotonic(t *testing.T) {
+	train, valid, _, recs := hammingFixture(t, 250)
+	cfg := tinyConfig(12, true)
+	cfg.Epochs = 10
+	m := New(cfg, train.X.Cols)
+	m.Train(train, valid)
+	for qi := 0; qi < 20; qi++ {
+		x := recs[qi].Floats()
+		prev := -1.0
+		for tau := 0; tau <= 12; tau++ {
+			v := m.EstimateEncoded(x, tau)
+			if v < prev-1e-9 {
+				t.Fatalf("trained model not monotone at query %d τ=%d", qi, tau)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTrainWithoutValidation(t *testing.T) {
+	train, _, _, _ := hammingFixture(t, 120)
+	cfg := tinyConfig(12, false)
+	cfg.Epochs = 3
+	m := New(cfg, train.X.Cols)
+	res := m.Train(train, nil)
+	if res.Epochs != 3 {
+		t.Fatalf("epochs=%d", res.Epochs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	train, valid, _, recs := hammingFixture(t, 150)
+	cfg := tinyConfig(12, true)
+	cfg.Epochs = 4
+	m := New(cfg, train.X.Cols)
+	m.Train(train, valid)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		x := recs[qi].Floats()
+		for tau := 0; tau <= 12; tau += 3 {
+			if m.EstimateEncoded(x, tau) != m2.EstimateEncoded(x, tau) {
+				t.Fatal("loaded model estimates differ")
+			}
+		}
+	}
+	if m2.TauTop != m.TauTop {
+		t.Fatal("TauTop not preserved")
+	}
+}
+
+func TestIncrementalTrainSkipsWhenErrorStable(t *testing.T) {
+	train, valid, _, _ := hammingFixture(t, 150)
+	cfg := tinyConfig(12, false)
+	cfg.Epochs = 6
+	m := New(cfg, train.X.Cols)
+	res := m.Train(train, valid)
+	inc := m.IncrementalTrain(train, valid, res.BestValidMSLE)
+	if !inc.Skipped {
+		t.Fatalf("unchanged data should skip retraining: %+v", inc)
+	}
+}
+
+func TestIncrementalTrainImprovesAfterUpdate(t *testing.T) {
+	// Train on one label distribution, then shift all labels upward (as if
+	// many similar records were inserted) and verify incremental learning
+	// reduces the degraded validation error.
+	train, valid, _, _ := hammingFixture(t, 200)
+	cfg := tinyConfig(12, false)
+	cfg.Epochs = 10
+	m := New(cfg, train.X.Cols)
+	res := m.Train(train, valid)
+
+	scale := func(ts *TrainSet) *TrainSet {
+		out := &TrainSet{X: ts.X, Labels: ts.Labels.Clone(), TauTop: ts.TauTop, P: ts.P}
+		for i := range out.Labels.Data {
+			out.Labels.Data[i] = out.Labels.Data[i]*3 + 5
+		}
+		return out
+	}
+	newTrain, newValid := scale(train), scale(valid)
+
+	top := train.TauTop
+	degraded, _ := m.validate(newValid, top)
+	inc := m.IncrementalTrain(newTrain, newValid, res.BestValidMSLE)
+	if inc.Skipped {
+		t.Fatal("shifted labels must trigger retraining")
+	}
+	if !(inc.ValidMSLE < degraded) {
+		t.Fatalf("incremental learning did not improve: %v -> %v", degraded, inc.ValidMSLE)
+	}
+}
+
+func TestEstimatorEndToEndMonotoneInTheta(t *testing.T) {
+	train, valid, ext, recs := hammingFixture(t, 200)
+	cfg := tinyConfig(12, true)
+	cfg.Epochs = 6
+	m := New(cfg, train.X.Cols)
+	m.Train(train, valid)
+	est := NewEstimator[dist.BitVector](ext, m)
+	q := recs[0]
+	prev := -1.0
+	for theta := 0.0; theta <= 12; theta++ {
+		v := est.Estimate(q, theta)
+		if v < prev-1e-9 {
+			t.Fatalf("estimate not monotone in θ at %v", theta)
+		}
+		prev = v
+	}
+	if est.Count(q, 5) < 0 {
+		t.Fatal("Count must be non-negative")
+	}
+}
+
+func TestModelSizeBytesPositiveAndAccelLarger(t *testing.T) {
+	std := New(tinyConfig(10, false), 32)
+	acc := New(tinyConfig(10, true), 32)
+	if std.SizeBytes() <= 0 || acc.SizeBytes() <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+}
+
+func TestPaperConfig(t *testing.T) {
+	c := PaperConfig(24, 64)
+	if c.TauMax != 24 || c.VAELatent != 64 || len(c.PhiHidden) != 4 {
+		t.Fatalf("PaperConfig=%+v", c)
+	}
+}
+
+func TestNoVAEAblationVariant(t *testing.T) {
+	train, valid, _, _ := hammingFixture(t, 200)
+	cfg := tinyConfig(12, false)
+	cfg.VAELatent = 0 // VAE replaced by direct concatenation (Table 7 ablation)
+	cfg.Lambda = 0
+	cfg.Epochs = 8
+	m := New(cfg, train.X.Cols)
+	before, _ := m.validate(valid, train.TauTop)
+	m.Train(train, valid)
+	after, _ := m.validate(valid, train.TauTop)
+	if !(after < before) {
+		t.Fatalf("no-VAE variant failed to learn: %v -> %v", before, after)
+	}
+	// Still monotone and deterministic.
+	x := train.X.Row(0)
+	prev := -1.0
+	for tau := 0; tau <= 12; tau++ {
+		v := m.EstimateEncoded(x, tau)
+		if v < prev-1e-9 {
+			t.Fatal("no-VAE variant must stay monotone")
+		}
+		prev = v
+	}
+}
+
+func TestComplexityMatchesLiveParams(t *testing.T) {
+	for _, accel := range []bool{false, true} {
+		m := New(tinyConfig(10, accel), 24)
+		c := m.Complexity()
+		if c.Total != nn.NumParams(m.Params()) {
+			t.Fatalf("accel=%v: complexity total %d != live params %d",
+				accel, c.Total, nn.NumParams(m.Params()))
+		}
+		if c.Decoders != 11*12+11 { // (τmax+1)·ZDim + (τmax+1)
+			t.Fatalf("decoder params=%d", c.Decoders)
+		}
+		if c.VAE == 0 || c.Encoder == 0 {
+			t.Fatalf("zero component in %+v", c)
+		}
+	}
+	// No-VAE variant reports zero VAE params.
+	cfg := tinyConfig(4, false)
+	cfg.VAELatent = 0
+	m := New(cfg, 8)
+	if c := m.Complexity(); c.VAE != 0 || c.Total != nn.NumParams(m.Params()) {
+		t.Fatalf("no-VAE complexity wrong: %+v", c)
+	}
+}
+
+func TestInferenceMultiplier(t *testing.T) {
+	std := New(tinyConfig(9, false), 8)
+	acc := New(tinyConfig(9, true), 8)
+	if std.InferenceMultiplier() != 10 {
+		t.Fatalf("std multiplier=%d", std.InferenceMultiplier())
+	}
+	if acc.InferenceMultiplier() != 1 {
+		t.Fatalf("accel multiplier=%d", acc.InferenceMultiplier())
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import "cardnet/internal/feature"
+
+// Estimator binds a trained Model to a feature extractor, yielding the
+// end-to-end ĉ = g∘h(x, θ) of Section 3.1 for records of type R. Because
+// both h_thr and the model's prefix-sum estimate are monotone, the composed
+// estimate is monotonically non-decreasing in θ (Lemma 1).
+type Estimator[R any] struct {
+	Ext   feature.Extractor[R]
+	Model *Model
+}
+
+// NewEstimator pairs an extractor and a model.
+func NewEstimator[R any](ext feature.Extractor[R], m *Model) *Estimator[R] {
+	return &Estimator[R]{Ext: ext, Model: m}
+}
+
+// Estimate returns the estimated cardinality of the selection (q, θ).
+func (e *Estimator[R]) Estimate(q R, theta float64) float64 {
+	return e.Model.EstimateEncoded(e.Ext.Encode(q), e.Ext.Threshold(theta))
+}
+
+// Count adapts Estimate to the simselect.Counter interface (rounding to the
+// nearest count).
+func (e *Estimator[R]) Count(q R, theta float64) int {
+	v := e.Estimate(q, theta)
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}

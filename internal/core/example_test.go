@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cardnet/internal/core"
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+	"cardnet/internal/feature"
+	"cardnet/internal/simselect"
+)
+
+// Example shows the full train-then-estimate loop on Hamming codes. It is
+// compile-checked documentation; examples/quickstart runs the same flow.
+func Example() {
+	records := dataset.BinaryCodes(500, 32, 4, 0.08, 1)
+	index := simselect.NewHammingIndex(records)
+	ext := feature.NewHammingExtractor(32, 12, 12)
+
+	grid := dataset.ThresholdGrid(12, 12)
+	counts := func(q dist.BitVector, g []float64) []int {
+		cum := index.CountAtEach(q, 12)
+		out := make([]int, len(g))
+		for i, theta := range g {
+			out[i] = cum[int(theta)]
+		}
+		return out
+	}
+	train, _ := core.BuildTrainSet[dist.BitVector](ext, records[:80], grid, counts)
+	valid, _ := core.BuildTrainSet[dist.BitVector](ext, records[80:100], grid, counts)
+
+	cfg := core.DefaultConfig(12)
+	cfg.Accel = true // CardNet-A fused encoder
+	cfg.Epochs = 2   // documentation-sized training
+	model := core.New(cfg, ext.Dim())
+	model.Train(train, valid)
+
+	est := core.NewEstimator[dist.BitVector](ext, model)
+	a := est.Estimate(records[0], 4)
+	b := est.Estimate(records[0], 8)
+	fmt.Println(b >= a) // monotone in θ by construction
+	// Output: true
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"cardnet/internal/feature"
+	"cardnet/internal/tensor"
+)
+
+// TrainSet holds a prepared regression workload: one row per query record,
+// its encoded binary features, and the cumulative cardinality label at every
+// transformed threshold τ ∈ [0, tauTop]. P is the empirical distribution of
+// τ induced by the uniform threshold grid (Section 6.2 approximates the
+// probability P(τ) with the empirical frequency of hthr over the validation
+// thresholds).
+type TrainSet struct {
+	X      *tensor.Matrix // queries × inDim binary features
+	Labels *tensor.Matrix // queries × (TauTop+1) cumulative cardinalities
+	TauTop int
+	P      []float64 // P(τ), length TauTop+1, sums to 1
+}
+
+// NumQueries returns the number of query rows.
+func (t *TrainSet) NumQueries() int { return t.X.Rows }
+
+// Subset returns a train set restricted to the given query rows (used by the
+// training-size experiment, Figure 7).
+func (t *TrainSet) Subset(rows []int) *TrainSet {
+	s := &TrainSet{
+		X:      tensor.NewMatrix(len(rows), t.X.Cols),
+		Labels: tensor.NewMatrix(len(rows), t.Labels.Cols),
+		TauTop: t.TauTop,
+		P:      t.P,
+	}
+	for i, r := range rows {
+		copy(s.X.Row(i), t.X.Row(r))
+		copy(s.Labels.Row(i), t.Labels.Row(r))
+	}
+	return s
+}
+
+// BuildTrainSet prepares a TrainSet from queries of any record type. grid is
+// the uniform threshold set S of Section 6.1 (ascending, covering
+// [0, θmax]); counts(q, grid) must return the exact cumulative cardinality
+// of q at each grid threshold (from internal/simselect's CountAtEach
+// helpers). The label for τ is the count at the largest grid threshold
+// mapping to at most τ, so labels are nondecreasing in τ by construction.
+func BuildTrainSet[R any](ext feature.Extractor[R], queries []R, grid []float64, counts func(q R, grid []float64) []int) (*TrainSet, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("core: empty threshold grid")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] < grid[i-1] {
+			return nil, fmt.Errorf("core: threshold grid must be ascending")
+		}
+	}
+	tauTop := ext.Threshold(grid[len(grid)-1])
+	ts := &TrainSet{
+		X:      tensor.NewMatrix(len(queries), ext.Dim()),
+		Labels: tensor.NewMatrix(len(queries), tauTop+1),
+		TauTop: tauTop,
+		P:      make([]float64, tauTop+1),
+	}
+
+	// Empirical P(τ) from the grid (every query sees the same grid).
+	taus := make([]int, len(grid))
+	for gi, theta := range grid {
+		taus[gi] = ext.Threshold(theta)
+		if taus[gi] > tauTop {
+			taus[gi] = tauTop
+		}
+		ts.P[taus[gi]] += 1 / float64(len(grid))
+	}
+
+	for qi, q := range queries {
+		copy(ts.X.Row(qi), ext.Encode(q))
+		cum := counts(q, grid)
+		if len(cum) != len(grid) {
+			return nil, fmt.Errorf("core: counts returned %d values for %d grid points", len(cum), len(grid))
+		}
+		row := ts.Labels.Row(qi)
+		// Carry the largest grid count mapping to ≤ τ forward across τ
+		// values the grid never hits.
+		last := 0.0
+		gi := 0
+		for tau := 0; tau <= tauTop; tau++ {
+			for gi < len(grid) && taus[gi] <= tau {
+				last = float64(cum[gi])
+				gi++
+			}
+			row[tau] = last
+		}
+	}
+	return ts, nil
+}
+
+// PerDistanceLabels returns the per-distance increments c_i = c(τ=i) −
+// c(τ=i−1) for one query row — the targets of the per-distance loss term in
+// Equation 3.
+func (t *TrainSet) PerDistanceLabels(row int) []float64 {
+	cum := t.Labels.Row(row)
+	out := make([]float64, len(cum))
+	prev := 0.0
+	for i, c := range cum {
+		out[i] = c - prev
+		prev = c
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"cardnet/internal/dist"
+)
+
+func TestBinaryCodesShapeAndClustering(t *testing.T) {
+	recs := BinaryCodes(300, 64, 4, 0.05, 1)
+	if len(recs) != 300 {
+		t.Fatalf("n=%d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Len != 64 {
+			t.Fatalf("dim=%d", r.Len)
+		}
+	}
+	// Clustered data: the mean pairwise distance of a sample should sit well
+	// below the uniform expectation of dim/2.
+	var sum, cnt float64
+	for i := 0; i < 50; i++ {
+		for j := i + 1; j < 50; j++ {
+			sum += float64(dist.Hamming(recs[i], recs[j]))
+			cnt++
+		}
+	}
+	if mean := sum / cnt; mean >= 30 {
+		t.Fatalf("data not clustered: mean pairwise distance %.1f", mean)
+	}
+}
+
+func TestBinaryCodesDeterministicBySeed(t *testing.T) {
+	a := BinaryCodes(20, 32, 3, 0.1, 7)
+	b := BinaryCodes(20, 32, 3, 0.1, 7)
+	for i := range a {
+		if dist.Hamming(a[i], b[i]) != 0 {
+			t.Fatal("same seed must reproduce the dataset")
+		}
+	}
+	c := BinaryCodes(20, 32, 3, 0.1, 8)
+	same := true
+	for i := range a {
+		if dist.Hamming(a[i], c[i]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestStringsGenerator(t *testing.T) {
+	short := Strings(200, 20, 2, 0.15, 2)
+	long := Strings(200, 20, 12, 0.08, 3)
+	if len(short) != 200 || len(long) != 200 {
+		t.Fatal("wrong count")
+	}
+	var sumShort, sumLong int
+	for i := range short {
+		sumShort += len(short[i])
+		sumLong += len(long[i])
+		if len(short[i]) == 0 {
+			t.Fatal("empty string generated")
+		}
+	}
+	if !(sumLong > 3*sumShort) {
+		t.Fatalf("syllable knob has no effect: short=%d long=%d", sumShort, sumLong)
+	}
+}
+
+func TestSetsGenerator(t *testing.T) {
+	sets := Sets(300, 500, 10, 8, 0.8, 3, 4)
+	if len(sets) != 300 {
+		t.Fatal("wrong count")
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			t.Fatal("empty set generated")
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatal("sets must be sorted and deduped")
+			}
+		}
+	}
+}
+
+func TestVectorsGeneratorNormalized(t *testing.T) {
+	vecs := Vectors(200, 16, 4, 0.1, true, 5)
+	for _, v := range vecs {
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+			t.Fatalf("vector not normalized: ‖v‖=%v", math.Sqrt(n))
+		}
+	}
+}
+
+func TestGenerateAllSpecs(t *testing.T) {
+	for _, s := range Defaults() {
+		s.N = 100 // keep the test fast
+		m := Generate(s)
+		if m.Len() != 100 {
+			t.Fatalf("%s: generated %d records", s.Name, m.Len())
+		}
+	}
+	if len(FourDefaults()) != 4 {
+		t.Fatal("FourDefaults should return 4 specs")
+	}
+	kinds := map[Kind]bool{}
+	for _, s := range FourDefaults() {
+		kinds[s.Kind] = true
+	}
+	if len(kinds) != 4 {
+		t.Fatal("FourDefaults must cover all distance functions")
+	}
+	if len(HighDim()) != 4 || len(GPHSpecs()) != 4 {
+		t.Fatal("auxiliary spec lists wrong size")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if HM.String() != "HM" || ED.String() != "ED" || JC.String() != "JC" || EU.String() != "EU" {
+		t.Fatal("Kind names wrong")
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	idx := SampleUniform(100, 0.1, 1)
+	if len(idx) != 10 {
+		t.Fatalf("len=%d", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("bad index %d", i)
+		}
+		seen[i] = true
+	}
+	// Oversampling clamps.
+	if got := SampleUniform(5, 2.0, 1); len(got) != 5 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestSampleMultipleUniform(t *testing.T) {
+	idx := SampleMultipleUniform(100, 0.1, 5, 2)
+	if len(idx) != 10 {
+		t.Fatalf("len=%d", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 100 {
+			t.Fatalf("bad index %d", i)
+		}
+	}
+}
+
+func TestSampleSkewedOverrepresentsSmallClusters(t *testing.T) {
+	// Cluster 0 has 90 members, cluster 1 has 10. Uniform-over-clusters
+	// sampling should pick cluster 1 about half the time.
+	assign := make([]int, 100)
+	for i := 90; i < 100; i++ {
+		assign[i] = 1
+	}
+	idx := SampleSkewed(assign, 2, 2000, 3)
+	small := 0
+	for _, i := range idx {
+		if assign[i] == 1 {
+			small++
+		}
+	}
+	frac := float64(small) / float64(len(idx))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("small-cluster fraction %.2f, want ≈0.5", frac)
+	}
+}
+
+func TestSplitWorkload(t *testing.T) {
+	queries := make([]int, 100)
+	for i := range queries {
+		queries[i] = i
+	}
+	sp := SplitWorkload(queries, 4)
+	if len(sp.Train) != 80 || len(sp.Valid) != 10 || len(sp.Test) != 10 {
+		t.Fatalf("split sizes %d/%d/%d", len(sp.Train), len(sp.Valid), len(sp.Test))
+	}
+	seen := map[int]bool{}
+	for _, part := range [][]int{sp.Train, sp.Valid, sp.Test} {
+		for _, q := range part {
+			if seen[q] {
+				t.Fatalf("query %d in two partitions", q)
+			}
+			seen[q] = true
+		}
+	}
+}
+
+func TestThresholdGrid(t *testing.T) {
+	g := ThresholdGrid(20, 20)
+	if len(g) != 21 || g[0] != 0 || g[20] != 20 {
+		t.Fatalf("grid=%v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatal("grid must be increasing")
+		}
+	}
+}
+
+func TestKMedoids(t *testing.T) {
+	// Two well-separated 1-D blobs.
+	points := make([]float64, 40)
+	for i := 0; i < 20; i++ {
+		points[i] = float64(i) * 0.01
+	}
+	for i := 20; i < 40; i++ {
+		points[i] = 100 + float64(i)*0.01
+	}
+	d := func(i, j int) float64 { return math.Abs(points[i] - points[j]) }
+	medoids, assign := KMedoids(40, 2, d, 10, 5)
+	if len(medoids) != 2 {
+		t.Fatalf("medoids=%v", medoids)
+	}
+	// All members of a blob must share an assignment.
+	for i := 1; i < 20; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("blob 1 split: %v", assign[:20])
+		}
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != assign[20] {
+			t.Fatalf("blob 2 split: %v", assign[20:])
+		}
+	}
+	if assign[0] == assign[20] {
+		t.Fatal("blobs merged")
+	}
+	sizes := ClusterSizes(assign, 2)
+	if sizes[0] != 20 || sizes[1] != 20 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+}
+
+func TestKMedoidsKLargerThanN(t *testing.T) {
+	d := func(i, j int) float64 { return float64((i - j) * (i - j)) }
+	medoids, assign := KMedoids(3, 10, d, 3, 1)
+	if len(medoids) != 3 || len(assign) != 3 {
+		t.Fatalf("clamp failed: %v %v", medoids, assign)
+	}
+}
+
+func TestOutOfDatasetAllKinds(t *testing.T) {
+	for _, s := range Defaults() {
+		s.N = 150
+		m := Generate(s)
+		// Medoids via a cheap distance on indices of the materialized data.
+		medoids := []int{0, 50, 100}
+		ood := OutOfDataset(m, medoids, 60, 20, 9)
+		if ood.Len() != 20 {
+			t.Fatalf("%s: ood len=%d", s.Name, ood.Len())
+		}
+		if ood.Spec.Kind != s.Kind {
+			t.Fatal("kind mismatch")
+		}
+	}
+}
+
+func TestOutOfDatasetQueriesAreFar(t *testing.T) {
+	s := Spec{Name: "t", Kind: HM, N: 200, Dim: 32, ThetaMax: 10, Seed: 3, Clusters: 2, Flip: 0.02}
+	m := Generate(s)
+	ood := OutOfDataset(m, []int{0, 1, 2}, 500, 10, 11)
+	// Far queries should be farther from medoid 0 than a typical record is.
+	var dataSum, oodSum float64
+	for i := 0; i < 100; i++ {
+		dataSum += float64(dist.Hamming(m.Bits[i], m.Bits[0]))
+	}
+	for _, q := range ood.Bits {
+		oodSum += float64(dist.Hamming(q, m.Bits[0]))
+	}
+	if oodSum/10 <= dataSum/100 {
+		t.Fatalf("ood queries not far: ood mean %.1f vs data mean %.1f", oodSum/10, dataSum/100)
+	}
+}
+
+func TestUpdateStream(t *testing.T) {
+	ops := UpdateStream(1000, 600, 100, 5, 13)
+	if len(ops) != 100 {
+		t.Fatalf("ops=%d", len(ops))
+	}
+	pool := 0
+	deleted := map[int]bool{}
+	for _, op := range ops {
+		if len(op.IDs) != 5 {
+			t.Fatalf("batch size %d", len(op.IDs))
+		}
+		if op.Insert {
+			for _, id := range op.IDs {
+				if id != pool {
+					t.Fatalf("insert pool ids must be sequential: got %d want %d", id, pool)
+				}
+				pool++
+			}
+		} else {
+			for _, id := range op.IDs {
+				if deleted[id] {
+					t.Fatalf("double delete of %d", id)
+				}
+				deleted[id] = true
+			}
+		}
+	}
+	if pool == 0 || len(deleted) == 0 {
+		t.Fatal("stream should mix inserts and deletes")
+	}
+}
+
+func TestMaxStringLen(t *testing.T) {
+	if got := MaxStringLen([]string{"a", "abc", "ab"}); got != 3 {
+		t.Fatalf("MaxStringLen=%d", got)
+	}
+	if got := MaxStringLen(nil); got != 0 {
+		t.Fatalf("MaxStringLen(nil)=%d", got)
+	}
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import "math/rand"
+
+// KMedoids clusters n items with a generic distance function using the
+// standard alternating assign/update heuristic (a PAM-style k-medoids, as
+// the paper uses for skewed sampling, Table 13, and out-of-dataset query
+// construction, Section 9.10). It returns the medoid indices and each item's
+// cluster assignment.
+func KMedoids(n, k int, d func(i, j int) float64, iters int, seed int64) (medoids []int, assign []int) {
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids = append([]int(nil), rng.Perm(n)[:k]...)
+	assign = make([]int, n)
+
+	assignAll := func() {
+		for i := 0; i < n; i++ {
+			best, bestD := 0, d(i, medoids[0])
+			for c := 1; c < k; c++ {
+				if dd := d(i, medoids[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			assign[i] = best
+		}
+	}
+	assignAll()
+
+	for it := 0; it < iters; it++ {
+		changed := false
+		for c := 0; c < k; c++ {
+			// Choose the member minimizing total within-cluster distance.
+			var members []int
+			for i := 0; i < n; i++ {
+				if assign[i] == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			best, bestCost := medoids[c], clusterCost(members, medoids[c], d)
+			for _, cand := range members {
+				if cost := clusterCost(members, cand, d); cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		assignAll()
+	}
+	return medoids, assign
+}
+
+func clusterCost(members []int, medoid int, d func(i, j int) float64) float64 {
+	var s float64
+	for _, m := range members {
+		s += d(m, medoid)
+	}
+	return s
+}
+
+// ClusterSizes tallies cluster sizes in descending order (paper Table 13).
+func ClusterSizes(assign []int, k int) []int {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	// Insertion sort, descending; k is small.
+	for i := 1; i < len(sizes); i++ {
+		v := sizes[i]
+		j := i - 1
+		for j >= 0 && sizes[j] < v {
+			sizes[j+1] = sizes[j]
+			j--
+		}
+		sizes[j+1] = v
+	}
+	return sizes
+}

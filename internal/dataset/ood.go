@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+
+	"cardnet/internal/dist"
+)
+
+// OutOfDataset generates `candidates` random queries for the dataset's data
+// type following Section 9.10 (uniform bits for binary vectors, random
+// grammar strings for strings, uniform-length random sets over the dataset's
+// token universe, uniform[−1,1] coordinates for real vectors), rejects any
+// that already occur in the dataset, and keeps the `keep` queries with the
+// largest sum of squared distances to the k-medoid centroids.
+func OutOfDataset(m *Materialized, medoidIdx []int, candidates, keep int, seed int64) *Materialized {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Materialized{Spec: m.Spec}
+
+	var scores []scored
+
+	switch m.Spec.Kind {
+	case HM:
+		existing := map[string]bool{}
+		for _, r := range m.Bits {
+			existing[bitKey(r)] = true
+		}
+		var cands []dist.BitVector
+		for len(cands) < candidates {
+			v := dist.NewBitVector(m.Spec.Dim)
+			for j := 0; j < m.Spec.Dim; j++ {
+				if rng.Intn(2) == 1 {
+					v.SetBit(j, true)
+				}
+			}
+			if existing[bitKey(v)] {
+				continue
+			}
+			cands = append(cands, v)
+		}
+		for i, c := range cands {
+			var s float64
+			for _, mi := range medoidIdx {
+				d := float64(dist.Hamming(c, m.Bits[mi]))
+				s += d * d
+			}
+			scores = append(scores, scored{i, s})
+		}
+		sortScores(scores)
+		for _, sc := range scores[:keep] {
+			out.Bits = append(out.Bits, cands[sc.idx])
+		}
+	case ED:
+		existing := map[string]bool{}
+		for _, r := range m.Strings {
+			existing[r] = true
+		}
+		var cands []string
+		for len(cands) < candidates {
+			s := Strings(1, 1, m.Spec.Syllables, 0.5, rng.Int63())[0]
+			if existing[s] {
+				continue
+			}
+			cands = append(cands, s)
+		}
+		for i, c := range cands {
+			var s float64
+			for _, mi := range medoidIdx {
+				d := float64(dist.Edit(c, m.Strings[mi]))
+				s += d * d
+			}
+			scores = append(scores, scored{i, s})
+		}
+		sortScores(scores)
+		for _, sc := range scores[:keep] {
+			out.Strings = append(out.Strings, cands[sc.idx])
+		}
+	case JC:
+		universe, lmin, lmax := setUniverse(m.Sets)
+		existing := map[string]bool{}
+		for _, r := range m.Sets {
+			existing[setKey(r)] = true
+		}
+		var cands []dist.IntSet
+		for len(cands) < candidates {
+			l := lmin + rng.Intn(lmax-lmin+1)
+			toks := make([]uint32, l)
+			for j := range toks {
+				toks[j] = universe[rng.Intn(len(universe))]
+			}
+			s := dist.NewIntSet(toks)
+			if existing[setKey(s)] {
+				continue
+			}
+			cands = append(cands, s)
+		}
+		for i, c := range cands {
+			var s float64
+			for _, mi := range medoidIdx {
+				d := dist.Jaccard(c, m.Sets[mi])
+				s += d * d
+			}
+			scores = append(scores, scored{i, s})
+		}
+		sortScores(scores)
+		for _, sc := range scores[:keep] {
+			out.Sets = append(out.Sets, cands[sc.idx])
+		}
+	case EU:
+		dim := m.Spec.Dim
+		var cands [][]float64
+		for len(cands) < candidates {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.Float64()*2 - 1
+			}
+			dist.Normalize(v) // dataset vectors are normalized; stay on the sphere
+			cands = append(cands, v)
+		}
+		for i, c := range cands {
+			var s float64
+			for _, mi := range medoidIdx {
+				d := dist.Euclidean(c, m.Vecs[mi])
+				s += d * d
+			}
+			scores = append(scores, scored{i, s})
+		}
+		sortScores(scores)
+		for _, sc := range scores[:keep] {
+			out.Vecs = append(out.Vecs, cands[sc.idx])
+		}
+	}
+	return out
+
+}
+
+func bitKey(b dist.BitVector) string {
+	buf := make([]byte, 0, len(b.Bits)*8)
+	for _, w := range b.Bits {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+func setKey(s dist.IntSet) string {
+	buf := make([]byte, 0, len(s)*4)
+	for _, t := range s {
+		buf = append(buf, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(buf)
+}
+
+func setUniverse(sets []dist.IntSet) (tokens []uint32, lmin, lmax int) {
+	seen := map[uint32]bool{}
+	lmin, lmax = 1<<30, 0
+	for _, s := range sets {
+		if len(s) < lmin {
+			lmin = len(s)
+		}
+		if len(s) > lmax {
+			lmax = len(s)
+		}
+		for _, t := range s {
+			if !seen[t] {
+				seen[t] = true
+				tokens = append(tokens, t)
+			}
+		}
+	}
+	if lmin > lmax {
+		lmin, lmax = 1, 1
+	}
+	if lmin < 1 {
+		lmin = 1
+	}
+	if lmax < lmin {
+		lmax = lmin
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	return tokens, lmin, lmax
+}
+
+// scored pairs a candidate index with its distance-to-medoids score.
+type scored struct {
+	idx   int
+	score float64
+}
+
+func sortScores(s []scored) {
+	sort.Slice(s, func(i, j int) bool { return s[i].score > s[j].score })
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import "cardnet/internal/dist"
+
+// Kind enumerates the four distance functions of the evaluation.
+type Kind int
+
+// The four distance-function families of Table 2.
+const (
+	HM Kind = iota // Hamming distance over binary vectors
+	ED             // edit distance over strings
+	JC             // Jaccard distance over sets
+	EU             // Euclidean distance over real vectors
+)
+
+// String names the kind like the paper's dataset prefixes.
+func (k Kind) String() string {
+	switch k {
+	case HM:
+		return "HM"
+	case ED:
+		return "ED"
+	case JC:
+		return "JC"
+	case EU:
+		return "EU"
+	default:
+		return "??"
+	}
+}
+
+// Spec describes one benchmark dataset in the style of paper Table 2. N and
+// the structural parameters are scaled down from the paper so experiments
+// run on CPU in seconds; the generators preserve the clustered, long-tailed
+// shape the paper's datasets exhibit (Figure 1).
+type Spec struct {
+	Name     string
+	Kind     Kind
+	N        int
+	Dim      int     // bits (HM), vector dim (EU); 0 otherwise
+	ThetaMax float64 // default θmax, mirroring Table 2
+	Seed     int64
+
+	// Generator knobs.
+	Clusters  int
+	Flip      float64 // HM: bit-flip rate
+	Syllables int     // ED: base string length in syllables
+	MutRate   float64 // ED: mutation rate
+	Universe  int     // JC: token universe
+	CoreLen   int     // JC: cluster core size
+	Keep      float64 // JC: core keep probability
+	TailLen   int     // JC: random tail budget
+	Std       float64 // EU: within-cluster std
+}
+
+// Defaults returns the eight benchmark datasets mirroring paper Table 2
+// (boldface defaults first within each distance). Names keep the paper's so
+// experiment output lines up with the original tables.
+func Defaults() []Spec {
+	return []Spec{
+		{Name: "HM-ImageNet", Kind: HM, N: 4000, Dim: 64, ThetaMax: 20, Seed: 101, Clusters: 8, Flip: 0.08},
+		{Name: "HM-PubChem", Kind: HM, N: 4000, Dim: 128, ThetaMax: 30, Seed: 102, Clusters: 8, Flip: 0.06},
+		{Name: "ED-AMiner", Kind: ED, N: 4000, ThetaMax: 10, Seed: 103, Clusters: 350, Syllables: 5, MutRate: 0.2},
+		{Name: "ED-DBLP", Kind: ED, N: 3000, ThetaMax: 20, Seed: 104, Clusters: 250, Syllables: 14, MutRate: 0.1},
+		{Name: "JC-BMS", Kind: JC, N: 4000, ThetaMax: 0.4, Seed: 105, Clusters: 150, Universe: 500, CoreLen: 8, Keep: 0.7, TailLen: 4},
+		{Name: "JC-DBLPq3", Kind: JC, N: 3000, ThetaMax: 0.4, Seed: 106, Clusters: 120, Universe: 2000, CoreLen: 30, Keep: 0.85, TailLen: 8},
+		{Name: "EU-Glove300", Kind: EU, N: 4000, Dim: 64, ThetaMax: 0.8, Seed: 107, Clusters: 8, Std: 0.12},
+		{Name: "EU-Glove50", Kind: EU, N: 3000, Dim: 25, ThetaMax: 0.8, Seed: 108, Clusters: 8, Std: 0.15},
+	}
+}
+
+// DefaultsByName indexes Defaults by name.
+func DefaultsByName() map[string]Spec {
+	m := map[string]Spec{}
+	for _, s := range Defaults() {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// FourDefaults returns the per-distance default datasets used by the
+// component/threshold/update experiments (paper boldface: HM-ImageNet,
+// ED-AMiner, JC-BMS, EU-Glove300).
+func FourDefaults() []Spec {
+	byName := DefaultsByName()
+	return []Spec{byName["HM-ImageNet"], byName["ED-AMiner"], byName["JC-BMS"], byName["EU-Glove300"]}
+}
+
+// HighDim returns the Table-8-style high-dimensional datasets used by the
+// decoder-count experiment (Figure 6), scaled down.
+func HighDim() []Spec {
+	return []Spec{
+		{Name: "HM-GIST2048", Kind: HM, N: 2500, Dim: 256, ThetaMax: 64, Seed: 201, Clusters: 10, Flip: 0.05},
+		{Name: "ED-DBLP", Kind: ED, N: 2000, ThetaMax: 20, Seed: 104, Clusters: 40, Syllables: 12, MutRate: 0.08},
+		{Name: "JC-Wikipedia", Kind: JC, N: 2500, ThetaMax: 0.4, Seed: 202, Clusters: 30, Universe: 4000, CoreLen: 60, Keep: 0.9, TailLen: 10},
+		{Name: "EU-Youtube", Kind: EU, N: 2500, Dim: 128, ThetaMax: 0.8, Seed: 203, Clusters: 10, Std: 0.1},
+	}
+}
+
+// GPHSpecs returns the Table-12-style binary datasets for the Hamming
+// query-optimizer case study (Figures 13–14).
+func GPHSpecs() []Spec {
+	return []Spec{
+		{Name: "HM-PubChem", Kind: HM, N: 4000, Dim: 128, ThetaMax: 32, Seed: 102, Clusters: 8, Flip: 0.06},
+		{Name: "HM-UQVideo", Kind: HM, N: 4000, Dim: 128, ThetaMax: 12, Seed: 301, Clusters: 12, Flip: 0.04},
+		{Name: "HM-fastText", Kind: HM, N: 4000, Dim: 96, ThetaMax: 24, Seed: 302, Clusters: 10, Flip: 0.07},
+		{Name: "HM-EMNIST", Kind: HM, N: 4000, Dim: 96, ThetaMax: 32, Seed: 303, Clusters: 10, Flip: 0.09},
+	}
+}
+
+// Materialized bundles one generated dataset; exactly one record slice is
+// non-nil, matching Kind.
+type Materialized struct {
+	Spec    Spec
+	Bits    []dist.BitVector
+	Strings []string
+	Sets    []dist.IntSet
+	Vecs    [][]float64
+}
+
+// Len returns the record count.
+func (m *Materialized) Len() int {
+	switch m.Spec.Kind {
+	case HM:
+		return len(m.Bits)
+	case ED:
+		return len(m.Strings)
+	case JC:
+		return len(m.Sets)
+	default:
+		return len(m.Vecs)
+	}
+}
+
+// Generate materializes the spec.
+func Generate(s Spec) *Materialized {
+	m := &Materialized{Spec: s}
+	switch s.Kind {
+	case HM:
+		m.Bits = BinaryCodes(s.N, s.Dim, s.Clusters, s.Flip, s.Seed)
+	case ED:
+		m.Strings = Strings(s.N, s.Clusters, s.Syllables, s.MutRate, s.Seed)
+	case JC:
+		m.Sets = Sets(s.N, s.Universe, s.Clusters, s.CoreLen, s.Keep, s.TailLen, s.Seed)
+	case EU:
+		m.Vecs = Vectors(s.N, s.Dim, s.Clusters, s.Std, true, s.Seed)
+	}
+	return m
+}
+
+// MaxStringLen returns the longest string in a string dataset (ℓmax in
+// Table 2), needed by the edit-distance feature extractor.
+func MaxStringLen(records []string) int {
+	m := 0
+	for _, s := range records {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import "math/rand"
+
+// UpdateOp is one batched update: insert the given fresh record indices (into
+// an auxiliary pool) or delete existing dataset indices. The update
+// experiment (paper Section 9.8) streams 200 ops of 5 records each.
+type UpdateOp struct {
+	Insert bool
+	IDs    []int // pool indices for inserts, dataset indices for deletes
+}
+
+// UpdateStream plans nOps alternating-random insert/delete operations of
+// batch records each over a dataset of size n with an insert pool of size
+// poolN. Deletes never repeat an index; inserts consume the pool in order.
+func UpdateStream(n, poolN, nOps, batch int, seed int64) []UpdateOp {
+	rng := rand.New(rand.NewSource(seed))
+	deleted := map[int]bool{}
+	nextPool := 0
+	ops := make([]UpdateOp, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		insert := rng.Intn(2) == 0
+		if nextPool+batch > poolN {
+			insert = false
+		}
+		if len(deleted)+batch > n/2 {
+			insert = true
+		}
+		op := UpdateOp{Insert: insert}
+		if insert {
+			for j := 0; j < batch; j++ {
+				op.IDs = append(op.IDs, nextPool)
+				nextPool++
+			}
+		} else {
+			for len(op.IDs) < batch {
+				id := rng.Intn(n)
+				if !deleted[id] {
+					deleted[id] = true
+					op.IDs = append(op.IDs, id)
+				}
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}

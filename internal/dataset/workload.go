@@ -1,0 +1,96 @@
+package dataset
+
+import "math/rand"
+
+// Split holds index-based train/validation/test partitions of a query
+// workload (paper Section 6.1: 10% of the dataset is sampled as the query
+// workload Q, split 80:10:10).
+type Split struct {
+	Train, Valid, Test []int
+}
+
+// SampleUniform draws ⌈frac·n⌉ distinct record indices uniformly — the
+// paper's "single uniform sample" workload policy.
+func SampleUniform(n int, frac float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	k := int(frac*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// SampleMultipleUniform draws `rounds` independent uniform samples of the
+// same total size as one frac-sample and concatenates them — the "multiple
+// uniform samples" policy of Section 9.12. Indices may repeat across rounds,
+// as in repeated sampling with replacement between rounds.
+func SampleMultipleUniform(n int, frac float64, rounds int, seed int64) []int {
+	perRound := int(frac*float64(n)/float64(rounds) + 0.5)
+	if perRound < 1 {
+		perRound = 1
+	}
+	var out []int
+	for r := 0; r < rounds; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*7919))
+		perm := rng.Perm(n)
+		k := perRound
+		if k > n {
+			k = n
+		}
+		out = append(out, perm[:k]...)
+	}
+	return out
+}
+
+// SampleSkewed implements the "single skewed sample" policy of Section 9.12:
+// records are assigned to clusters; each draw first picks a cluster
+// uniformly, then a member uniformly, so small clusters are over-represented
+// relative to their size.
+func SampleSkewed(assign []int, clusters int, size int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	members := make([][]int, clusters)
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	// Drop empty clusters so uniform cluster choice is well defined.
+	var nonEmpty [][]int
+	for _, m := range members {
+		if len(m) > 0 {
+			nonEmpty = append(nonEmpty, m)
+		}
+	}
+	out := make([]int, size)
+	for i := range out {
+		m := nonEmpty[rng.Intn(len(nonEmpty))]
+		out[i] = m[rng.Intn(len(m))]
+	}
+	return out
+}
+
+// SplitWorkload splits query indices 80:10:10 after a seeded shuffle.
+func SplitWorkload(queries []int, seed int64) Split {
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]int, len(queries))
+	copy(q, queries)
+	rng.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
+	nTrain := len(q) * 8 / 10
+	nValid := len(q) / 10
+	return Split{
+		Train: q[:nTrain],
+		Valid: q[nTrain : nTrain+nValid],
+		Test:  q[nTrain+nValid:],
+	}
+}
+
+// ThresholdGrid returns g+1 uniformly spaced thresholds covering [0, θmax]
+// — the threshold set S of Section 6.1.
+func ThresholdGrid(thetaMax float64, g int) []float64 {
+	out := make([]float64, g+1)
+	for i := 0; i <= g; i++ {
+		out[i] = thetaMax * float64(i) / float64(g)
+	}
+	return out
+}

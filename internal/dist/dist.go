@@ -1,0 +1,285 @@
+// Package dist defines the record types and distance functions the paper
+// evaluates on (Section 2.1): Hamming distance over binary vectors, edit
+// distance over strings, Jaccard distance over sets, and Euclidean distance
+// over real vectors.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// BitVector is a fixed-length binary vector packed into 64-bit words.
+type BitVector struct {
+	Bits []uint64
+	Len  int
+}
+
+// NewBitVector returns an all-zero vector of n bits.
+func NewBitVector(n int) BitVector {
+	return BitVector{Bits: make([]uint64, (n+63)/64), Len: n}
+}
+
+// SetBit sets bit i to v.
+func (b BitVector) SetBit(i int, v bool) {
+	if i < 0 || i >= b.Len {
+		panic(fmt.Sprintf("dist: bit %d out of range [0,%d)", i, b.Len))
+	}
+	if v {
+		b.Bits[i/64] |= 1 << (i % 64)
+	} else {
+		b.Bits[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Bit reports bit i.
+func (b BitVector) Bit(i int) bool {
+	return b.Bits[i/64]&(1<<(i%64)) != 0
+}
+
+// Clone returns a deep copy.
+func (b BitVector) Clone() BitVector {
+	c := BitVector{Bits: make([]uint64, len(b.Bits)), Len: b.Len}
+	copy(c.Bits, b.Bits)
+	return c
+}
+
+// Floats expands the vector into a float64 slice of 0/1 values, the input
+// format of the neural models.
+func (b BitVector) Floats() []float64 {
+	out := make([]float64, b.Len)
+	for i := 0; i < b.Len; i++ {
+		if b.Bit(i) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// OnesCount returns the popcount of the vector.
+func (b BitVector) OnesCount() int {
+	n := 0
+	for _, w := range b.Bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Hamming returns the Hamming distance between two equal-length vectors.
+func Hamming(a, b BitVector) int {
+	if a.Len != b.Len {
+		panic(fmt.Sprintf("dist: hamming length mismatch %d vs %d", a.Len, b.Len))
+	}
+	d := 0
+	for i, w := range a.Bits {
+		d += bits.OnesCount64(w ^ b.Bits[i])
+	}
+	return d
+}
+
+// HammingSlice returns the Hamming distance over a word range, used by the
+// GPH-style partitioned query processor.
+func HammingSlice(a, b BitVector, fromBit, toBit int) int {
+	d := 0
+	for i := fromBit; i < toBit; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			d++
+		}
+	}
+	return d
+}
+
+// Edit returns the Levenshtein edit distance between two strings, using the
+// classic two-row dynamic program.
+func Edit(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// EditWithin reports whether Edit(a, b) ≤ k, using Ukkonen's banded dynamic
+// program that only fills a 2k+1 diagonal band; it returns the distance when
+// within the threshold. This is the verification step of the exact
+// similarity-selection algorithm for edit distance.
+func EditWithin(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	la, lb := len(a), len(b)
+	if abs(la-lb) > k {
+		return 0, false
+	}
+	if la == 0 {
+		return lb, lb <= k
+	}
+	if lb == 0 {
+		return la, la <= k
+	}
+	const inf = math.MaxInt32 / 2
+	width := 2*k + 1
+	prev := make([]int, width)
+	cur := make([]int, width)
+	// prev[c] holds D[i-1][i-1+c-k]; initialize row 0: D[0][j] = j.
+	for c := 0; c < width; c++ {
+		j := c - k
+		if j >= 0 && j <= lb {
+			prev[c] = j
+		} else {
+			prev[c] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		for c := 0; c < width; c++ {
+			j := i + c - k
+			if j < 0 || j > lb {
+				cur[c] = inf
+				continue
+			}
+			if j == 0 {
+				cur[c] = i
+				continue
+			}
+			del := inf
+			if c+1 < width {
+				del = prev[c+1] + 1 // D[i-1][j]
+			}
+			ins := inf
+			if c-1 >= 0 {
+				ins = cur[c-1] + 1 // D[i][j-1]
+			}
+			sub := prev[c] // D[i-1][j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			cur[c] = min3(del, ins, sub)
+		}
+		// Early exit: if every band cell exceeds k, no path can recover.
+		allOver := true
+		for _, v := range cur {
+			if v <= k {
+				allOver = false
+				break
+			}
+		}
+		if allOver {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[lb-la+k]
+	return d, d <= k
+}
+
+// IntSet is a sorted, duplicate-free set of token ids.
+type IntSet []uint32
+
+// NewIntSet sorts and dedupes tokens into an IntSet.
+func NewIntSet(tokens []uint32) IntSet {
+	s := make([]uint32, len(tokens))
+	copy(s, tokens)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var prev uint32
+	for i, v := range s {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return IntSet(out)
+}
+
+// Overlap returns |a ∩ b| by merging the sorted sets.
+func Overlap(a, b IntSet) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Jaccard returns the Jaccard distance 1 − |a∩b|/|a∪b| (Section 4.3).
+func Jaccard(a, b IntSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	ov := Overlap(a, b)
+	return 1 - float64(ov)/float64(len(a)+len(b)-ov)
+}
+
+// Euclidean returns the L2 distance between two equal-length real vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dist: euclidean length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v to unit L2 norm in place (used by the GloVe-style
+// datasets, which the paper normalizes). Zero vectors are left unchanged.
+func Normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	b := NewBitVector(70)
+	if b.Len != 70 || len(b.Bits) != 2 {
+		t.Fatalf("shape: %+v", b)
+	}
+	b.SetBit(0, true)
+	b.SetBit(69, true)
+	if !b.Bit(0) || !b.Bit(69) || b.Bit(1) {
+		t.Fatal("bit get/set broken")
+	}
+	if b.OnesCount() != 2 {
+		t.Fatalf("OnesCount=%d", b.OnesCount())
+	}
+	b.SetBit(0, false)
+	if b.Bit(0) || b.OnesCount() != 1 {
+		t.Fatal("clear broken")
+	}
+	c := b.Clone()
+	c.SetBit(1, true)
+	if b.Bit(1) {
+		t.Fatal("Clone must not alias")
+	}
+	f := b.Floats()
+	if len(f) != 70 || f[69] != 1 || f[0] != 0 {
+		t.Fatal("Floats wrong")
+	}
+}
+
+func TestBitVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBitVector(8).SetBit(8, true)
+}
+
+func TestHammingKnown(t *testing.T) {
+	a := NewBitVector(128)
+	b := NewBitVector(128)
+	a.SetBit(0, true)
+	a.SetBit(127, true)
+	b.SetBit(127, true)
+	b.SetBit(64, true)
+	if got := Hamming(a, b); got != 2 {
+		t.Fatalf("Hamming=%d", got)
+	}
+	if got := Hamming(a, a); got != 0 {
+		t.Fatalf("self distance=%d", got)
+	}
+}
+
+func TestHammingSlice(t *testing.T) {
+	a := NewBitVector(16)
+	b := NewBitVector(16)
+	a.SetBit(3, true)
+	a.SetBit(10, true)
+	if got := HammingSlice(a, b, 0, 8); got != 1 {
+		t.Fatalf("slice [0,8)=%d", got)
+	}
+	if got := HammingSlice(a, b, 8, 16); got != 1 {
+		t.Fatalf("slice [8,16)=%d", got)
+	}
+	if got := HammingSlice(a, b, 0, 16); got != Hamming(a, b) {
+		t.Fatal("full slice must equal Hamming")
+	}
+}
+
+func TestEditKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "acb", 2},
+		{"sunday", "saturday", 3},
+	}
+	for _, c := range cases {
+		if got := Edit(c.a, c.b); got != c.want {
+			t.Fatalf("Edit(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randString(r *rand.Rand, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(4))
+	}
+	return string(b)
+}
+
+// Property: EditWithin agrees with the full DP for every k.
+func TestEditWithinMatchesFullDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randString(r, 12)
+		b := randString(r, 12)
+		d := Edit(a, b)
+		for k := 0; k <= 14; k++ {
+			got, ok := EditWithin(a, b, k)
+			if ok != (d <= k) {
+				return false
+			}
+			if ok && got != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditWithinNegativeK(t *testing.T) {
+	if _, ok := EditWithin("a", "a", -1); ok {
+		t.Fatal("negative k must fail")
+	}
+}
+
+func TestNewIntSetSortsAndDedupes(t *testing.T) {
+	s := NewIntSet([]uint32{5, 1, 5, 3, 1})
+	if len(s) != 3 || s[0] != 1 || s[1] != 3 || s[2] != 5 {
+		t.Fatalf("IntSet=%v", s)
+	}
+}
+
+func TestOverlapAndJaccard(t *testing.T) {
+	a := NewIntSet([]uint32{1, 2, 3, 4})
+	b := NewIntSet([]uint32{3, 4, 5, 6})
+	if got := Overlap(a, b); got != 2 {
+		t.Fatalf("Overlap=%d", got)
+	}
+	// J distance = 1 − 2/6.
+	if got := Jaccard(a, b); math.Abs(got-(1-2.0/6)) > 1e-12 {
+		t.Fatalf("Jaccard=%v", got)
+	}
+	if got := Jaccard(a, a); got != 0 {
+		t.Fatalf("self Jaccard=%v", got)
+	}
+	if got := Jaccard(NewIntSet(nil), NewIntSet(nil)); got != 0 {
+		t.Fatalf("empty Jaccard=%v", got)
+	}
+	if got := Jaccard(a, NewIntSet(nil)); got != 1 {
+		t.Fatalf("disjoint-with-empty Jaccard=%v", got)
+	}
+}
+
+func TestEuclideanKnown(t *testing.T) {
+	if got := Euclidean([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Fatalf("Euclidean=%v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	Normalize(v)
+	if math.Abs(v[0]-0.6) > 1e-12 || math.Abs(v[1]-0.8) > 1e-12 {
+		t.Fatalf("Normalize=%v", v)
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector must stay zero")
+	}
+}
+
+// Property: all four distances satisfy identity and symmetry; Hamming, edit
+// and Euclidean satisfy the triangle inequality on random triples.
+func TestMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Hamming.
+		mk := func() BitVector {
+			v := NewBitVector(32)
+			for i := 0; i < 32; i++ {
+				if r.Intn(2) == 1 {
+					v.SetBit(i, true)
+				}
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		if Hamming(a, b) != Hamming(b, a) || Hamming(a, a) != 0 {
+			return false
+		}
+		if Hamming(a, c) > Hamming(a, b)+Hamming(b, c) {
+			return false
+		}
+		// Edit.
+		sa, sb, sc := randString(r, 8), randString(r, 8), randString(r, 8)
+		if Edit(sa, sb) != Edit(sb, sa) || Edit(sa, sa) != 0 {
+			return false
+		}
+		if Edit(sa, sc) > Edit(sa, sb)+Edit(sb, sc) {
+			return false
+		}
+		// Jaccard symmetry.
+		ja := NewIntSet([]uint32{uint32(r.Intn(8)), uint32(r.Intn(8))})
+		jb := NewIntSet([]uint32{uint32(r.Intn(8)), uint32(r.Intn(8))})
+		if math.Abs(Jaccard(ja, jb)-Jaccard(jb, ja)) > 1e-15 {
+			return false
+		}
+		// Euclidean triangle.
+		mkv := func() []float64 {
+			v := make([]float64, 4)
+			for i := range v {
+				v[i] = r.NormFloat64()
+			}
+			return v
+		}
+		ea, eb, ec := mkv(), mkv(), mkv()
+		return Euclidean(ea, ec) <= Euclidean(ea, eb)+Euclidean(eb, ec)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package feature
+
+// EditExtractor handles strings under Levenshtein edit distance via the
+// bounding method of Section 4.2: each character at position i sets the bits
+// i−τmax .. i+τmax of its character group, so one edit operation changes at
+// most 4·τmax+2 bits and f(x,y) edits yield Hamming distance at most
+// f(x,y)·(4·τmax+2).
+type EditExtractor struct {
+	Alphabet string // distinct characters; index = group
+	LMax     int    // maximum string length in the dataset
+	MaxTau   int
+	MaxTheta int
+
+	group map[byte]int
+}
+
+// NewEditExtractor builds the extractor. Characters outside the alphabet are
+// ignored by Encode (they cannot match anything in the dataset anyway).
+func NewEditExtractor(alphabet string, lmax, thetaMax, tauMax int) *EditExtractor {
+	e := &EditExtractor{Alphabet: alphabet, LMax: lmax, MaxTau: tauMax, MaxTheta: thetaMax,
+		group: make(map[byte]int, len(alphabet))}
+	for i := 0; i < len(alphabet); i++ {
+		e.group[alphabet[i]] = i
+	}
+	return e
+}
+
+// groupWidth is the number of bits per character group: positions run from
+// −τmax to lmax−1+τmax.
+func (e *EditExtractor) groupWidth() int { return e.LMax + 2*e.MaxTau }
+
+// Dim returns (lmax + 2·τmax)·|Σ|.
+func (e *EditExtractor) Dim() int { return e.groupWidth() * len(e.Alphabet) }
+
+// TauMax returns the transformed-threshold ceiling.
+func (e *EditExtractor) TauMax() int { return e.MaxTau }
+
+// ThetaMax returns the largest supported edit-distance threshold.
+func (e *EditExtractor) ThetaMax() float64 { return float64(e.MaxTheta) }
+
+// Encode sets, for each character σ at position i, bits i−τmax..i+τmax of
+// group σ. Positions beyond lmax−1 are clamped away (longer strings simply
+// truncate, matching the fixed-dimensional representation).
+func (e *EditExtractor) Encode(s string) []float64 {
+	w := e.groupWidth()
+	out := make([]float64, e.Dim())
+	limit := e.LMax
+	if len(s) < limit {
+		limit = len(s)
+	}
+	for i := 0; i < limit; i++ {
+		g, ok := e.group[s[i]]
+		if !ok {
+			continue
+		}
+		base := g * w
+		for j := i - e.MaxTau; j <= i+e.MaxTau; j++ {
+			// bit index inside group: j + τmax ∈ [0, w).
+			out[base+j+e.MaxTau] = 1
+		}
+	}
+	return out
+}
+
+// Threshold uses the same transformation as Hamming distance (the bound is
+// proportional to the edit distance).
+func (e *EditExtractor) Threshold(theta float64) int {
+	return proportional(theta, float64(e.MaxTheta), e.MaxTau, true)
+}

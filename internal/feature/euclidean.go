@@ -1,0 +1,122 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EuclideanExtractor handles real vectors under Euclidean distance via LSH
+// based on the 2-stable (normal) distribution (Section 4.4):
+// h_{a,b}(x) = ⌊(a·x + b)/r⌋ with a ~ N(0, I) and b ~ U[0, r). Hash values
+// are clamped to [0, v] and one-hot encoded with v+1 bits per function. The
+// collision probability of one hash is ϵ(θ), so the expected Hamming
+// distance between encodings is (1 − ϵ(θ))·d, and the threshold transform is
+// τ = ⌊τmax · (1−ϵ(θ)) / (1−ϵ(θmax))⌋.
+type EuclideanExtractor struct {
+	K        int     // number of hash functions
+	R        float64 // quantization width
+	V        int     // max clamped hash value; each block has V+1 bits
+	InDim    int     // input vector dimensionality
+	MaxTau   int
+	MaxTheta float64
+
+	a [][]float64
+	b []float64
+	// offset shifts raw hash values to be ≥ 0 before clamping at V.
+	offset int
+}
+
+// NewEuclideanExtractor draws k hash functions for inDim-dimensional
+// vectors. v+1 is the one-hot width per hash; raw values are shifted by
+// (v+1)/2 so the typical range of ⌊(a·x+b)/r⌋ (centered near zero for
+// zero-mean data) lands inside [0, v].
+func NewEuclideanExtractor(k, inDim, v int, r, thetaMax float64, tauMax int, seed int64) *EuclideanExtractor {
+	rng := rand.New(rand.NewSource(seed))
+	e := &EuclideanExtractor{K: k, R: r, V: v, InDim: inDim, MaxTau: tauMax, MaxTheta: thetaMax,
+		a: make([][]float64, k), b: make([]float64, k), offset: (v + 1) / 2}
+	for i := 0; i < k; i++ {
+		e.a[i] = make([]float64, inDim)
+		for j := range e.a[i] {
+			e.a[i][j] = rng.NormFloat64()
+		}
+		e.b[i] = rng.Float64() * r
+	}
+	return e
+}
+
+// Dim returns k·(v+1).
+func (e *EuclideanExtractor) Dim() int { return e.K * (e.V + 1) }
+
+// TauMax returns the transformed-threshold ceiling.
+func (e *EuclideanExtractor) TauMax() int { return e.MaxTau }
+
+// ThetaMax returns the largest supported Euclidean threshold.
+func (e *EuclideanExtractor) ThetaMax() float64 { return e.MaxTheta }
+
+// HashValue returns the clamped hash of x under function i.
+func (e *EuclideanExtractor) HashValue(i int, x []float64) int {
+	var dot float64
+	for j, v := range x {
+		dot += e.a[i][j] * v
+	}
+	h := int(math.Floor((dot+e.b[i])/e.R)) + e.offset
+	if h < 0 {
+		h = 0
+	}
+	if h > e.V {
+		h = e.V
+	}
+	return h
+}
+
+// Encode produces the concatenation of k one-hot (v+1)-bit blocks.
+func (e *EuclideanExtractor) Encode(x []float64) []float64 {
+	out := make([]float64, e.Dim())
+	block := e.V + 1
+	for i := 0; i < e.K; i++ {
+		out[i*block+e.HashValue(i, x)] = 1
+	}
+	return out
+}
+
+// CollisionProb returns ϵ(θ), the probability two points at distance θ share
+// one hash value (Datar et al. 2004):
+// ϵ(θ) = 1 − 2·Φ(−r/θ) − (2/(√(2π)·r/θ))·(1 − e^{−r²/(2θ²)}).
+func (e *EuclideanExtractor) CollisionProb(theta float64) float64 {
+	if theta <= 0 {
+		return 1
+	}
+	c := e.R / theta
+	p := 1 - 2*normCDF(-c) - 2/(math.Sqrt(2*math.Pi)*c)*(1-math.Exp(-c*c/2))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Threshold implements τ = ⌊τmax·(1−ϵ(θ))/(1−ϵ(θmax))⌋.
+func (e *EuclideanExtractor) Threshold(theta float64) int {
+	if theta <= 0 {
+		return 0
+	}
+	if theta > e.MaxTheta {
+		theta = e.MaxTheta
+	}
+	denom := 1 - e.CollisionProb(e.MaxTheta)
+	if denom <= 0 {
+		return 0
+	}
+	tau := int(float64(e.MaxTau) * (1 - e.CollisionProb(theta)) / denom)
+	if tau > e.MaxTau {
+		tau = e.MaxTau
+	}
+	return tau
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

@@ -1,0 +1,50 @@
+// Package feature implements the paper's feature-extraction component
+// (Sections 3.2 and 4): each extractor maps a record of some data type to a
+// fixed-dimensional binary vector whose Hamming distances capture the
+// original distance semantics, and monotonically maps the query threshold
+// θ ∈ [0, θmax] to an integer τ ∈ [0, τmax].
+package feature
+
+// Extractor transforms records of type R and thresholds into the common
+// interface required by the regression component: a {0,1}^d vector (stored
+// as float64 for the neural models) and an integer threshold.
+type Extractor[R any] interface {
+	// Dim returns d, the binary-vector dimensionality.
+	Dim() int
+	// TauMax returns the largest transformed threshold the model supports.
+	TauMax() int
+	// ThetaMax returns the largest supported original threshold.
+	ThetaMax() float64
+	// Encode maps a record to its binary representation.
+	Encode(r R) []float64
+	// Threshold is h_thr: a monotone map from [0, ThetaMax] to [0, TauMax].
+	Threshold(theta float64) int
+}
+
+// proportional implements the shared τ = ⌊τmax·θ/θmax⌋ transformation used
+// for Hamming, edit, and Jaccard distances (Sections 4.1–4.3). For
+// integer-valued distances with θmax ≤ τmax, the identity is used so each
+// decoder owns exactly one distance value.
+func proportional(theta, thetaMax float64, tauMax int, integerValued bool) int {
+	if theta <= 0 {
+		return 0
+	}
+	if theta > thetaMax {
+		theta = thetaMax
+	}
+	if integerValued && thetaMax <= float64(tauMax) {
+		return int(theta)
+	}
+	tau := int(float64(tauMax) * theta / thetaMax)
+	if tau > tauMax {
+		tau = tauMax
+	}
+	return tau
+}
+
+// EffectiveTauTop returns the largest τ an extractor ever produces, i.e.
+// Threshold(ThetaMax). For integer distances with θmax < τmax only the first
+// θmax+1 decoders are useful (Section 4 discussion).
+func EffectiveTauTop[R any](e Extractor[R]) int {
+	return e.Threshold(e.ThetaMax())
+}

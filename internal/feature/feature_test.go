@@ -1,0 +1,387 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cardnet/internal/dist"
+)
+
+func hammingFloats(a, b []float64) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+func TestHammingExtractorIdentity(t *testing.T) {
+	e := NewHammingExtractor(64, 20, 32)
+	if e.Dim() != 64 || e.TauMax() != 32 || e.ThetaMax() != 20 {
+		t.Fatalf("config: %+v", e)
+	}
+	v := dist.NewBitVector(64)
+	v.SetBit(5, true)
+	f := e.Encode(v)
+	if f[5] != 1 || f[6] != 0 {
+		t.Fatal("Encode must be the identity map")
+	}
+	// θmax ≤ τmax: identity threshold map.
+	for theta := 0; theta <= 20; theta++ {
+		if got := e.Threshold(float64(theta)); got != theta {
+			t.Fatalf("Threshold(%d)=%d", theta, got)
+		}
+	}
+}
+
+func TestHammingExtractorProportionalWhenThetaMaxLarge(t *testing.T) {
+	e := NewHammingExtractor(64, 512, 128)
+	if got := e.Threshold(512); got != 128 {
+		t.Fatalf("Threshold(max)=%d", got)
+	}
+	if got := e.Threshold(256); got != 64 {
+		t.Fatalf("Threshold(mid)=%d", got)
+	}
+	if got := e.Threshold(0); got != 0 {
+		t.Fatalf("Threshold(0)=%d", got)
+	}
+	// Clamps above θmax.
+	if got := e.Threshold(9999); got != 128 {
+		t.Fatalf("Threshold(overflow)=%d", got)
+	}
+}
+
+func TestEditExtractorPaperExample(t *testing.T) {
+	// Paper Section 4.2: x="abc", Σ={a,b,c,d}, lmax=4, τmax=1 →
+	// 111000, 011100, 001110, 000000 (groups separated by comma).
+	e := NewEditExtractor("abcd", 4, 4, 1)
+	if e.Dim() != (4+2)*4 {
+		t.Fatalf("Dim=%d", e.Dim())
+	}
+	f := e.Encode("abc")
+	want := "111000011100001110000000"
+	for i := 0; i < len(want); i++ {
+		got := f[i]
+		if (want[i] == '1') != (got == 1) {
+			t.Fatalf("bit %d: got %v want %c (full=%v)", i, got, want[i], f)
+		}
+	}
+}
+
+func TestEditExtractorBoundProperty(t *testing.T) {
+	// f(x,y) edit operations yield Hamming distance ≤ f(x,y)·(4τmax+2).
+	e := NewEditExtractor("ab", 12, 6, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() string {
+			n := r.Intn(10)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte('a' + r.Intn(2))
+			}
+			return string(b)
+		}
+		x, y := mk(), mk()
+		ed := dist.Edit(x, y)
+		hd := hammingFloats(e.Encode(x), e.Encode(y))
+		return hd <= ed*(4*e.MaxTau+2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditExtractorHandlesUnknownAndLongStrings(t *testing.T) {
+	e := NewEditExtractor("ab", 3, 3, 1)
+	// Unknown chars are skipped, long strings truncated; must not panic and
+	// must stay within dimension.
+	f := e.Encode("azbzabababab")
+	if len(f) != e.Dim() {
+		t.Fatalf("len=%d want %d", len(f), e.Dim())
+	}
+}
+
+func TestJaccardExtractorOneHotStructure(t *testing.T) {
+	e := NewJaccardExtractor(8, 2, 0.4, 16, 7)
+	if e.Dim() != 4*8 {
+		t.Fatalf("Dim=%d", e.Dim())
+	}
+	s := dist.NewIntSet([]uint32{1, 5, 9})
+	f := e.Encode(s)
+	// Exactly one bit per 2^b block.
+	for blk := 0; blk < e.K; blk++ {
+		ones := 0
+		for j := 0; j < 4; j++ {
+			if f[blk*4+j] == 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("block %d has %d ones", blk, ones)
+		}
+	}
+	// Deterministic.
+	g := e.Encode(s)
+	for i := range f {
+		if f[i] != g[i] {
+			t.Fatal("Encode must be deterministic")
+		}
+	}
+}
+
+func TestJaccardCollisionRateApproximatesSimilarity(t *testing.T) {
+	// With many permutations, the fraction of agreeing bmin values must be
+	// close to the Jaccard similarity (b-bit minhash adds a small bias of
+	// about (1−J)/2^b for b=2, so allow slack).
+	e := NewJaccardExtractor(512, 2, 0.4, 16, 11)
+	a := dist.NewIntSet([]uint32{0, 1, 2, 3, 4, 5, 6, 7})
+	b := dist.NewIntSet([]uint32{0, 1, 2, 3, 4, 5, 10, 11})
+	sim := 1 - dist.Jaccard(a, b) // 6/10
+	agree := 0
+	for i := 0; i < e.K; i++ {
+		if e.BMin(i, a) == e.BMin(i, b) {
+			agree++
+		}
+	}
+	rate := float64(agree) / float64(e.K)
+	expected := sim + (1-sim)/4 // collision by chance on 2 bits
+	if math.Abs(rate-expected) > 0.08 {
+		t.Fatalf("agreement rate %.3f, expected ≈ %.3f", rate, expected)
+	}
+}
+
+func TestJaccardThresholdMonotone(t *testing.T) {
+	e := NewJaccardExtractor(8, 2, 0.4, 16, 3)
+	prev := -1
+	for theta := 0.0; theta <= 0.4+1e-9; theta += 0.01 {
+		tau := e.Threshold(theta)
+		if tau < prev {
+			t.Fatalf("threshold not monotone at %v: %d < %d", theta, tau, prev)
+		}
+		prev = tau
+	}
+	if e.Threshold(0) != 0 {
+		t.Fatal("Threshold(0) must be 0")
+	}
+	if e.Threshold(0.4) != 16 {
+		t.Fatalf("Threshold(max)=%d want 16", e.Threshold(0.4))
+	}
+}
+
+func TestEuclideanExtractorStructure(t *testing.T) {
+	e := NewEuclideanExtractor(16, 8, 7, 1.0, 0.8, 24, 5)
+	if e.Dim() != 16*8 {
+		t.Fatalf("Dim=%d", e.Dim())
+	}
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	f := e.Encode(x)
+	for blk := 0; blk < e.K; blk++ {
+		ones := 0
+		for j := 0; j <= e.V; j++ {
+			if f[blk*(e.V+1)+j] == 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("block %d has %d ones", blk, ones)
+		}
+	}
+}
+
+func TestEuclideanCollisionProbProperties(t *testing.T) {
+	e := NewEuclideanExtractor(4, 4, 7, 1.0, 0.8, 24, 5)
+	if got := e.CollisionProb(0); got != 1 {
+		t.Fatalf("ϵ(0)=%v", got)
+	}
+	prev := 1.0
+	for theta := 0.01; theta <= 5; theta += 0.05 {
+		p := e.CollisionProb(theta)
+		if p < 0 || p > 1 {
+			t.Fatalf("ϵ(%v)=%v out of range", theta, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("ϵ must decrease with θ: ϵ(%v)=%v > %v", theta, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEuclideanCollisionMatchesEmpirical(t *testing.T) {
+	// Empirical hash-collision rate at distance θ should track ϵ(θ).
+	rng := rand.New(rand.NewSource(9))
+	e := NewEuclideanExtractor(2000, 16, 63, 1.0, 2.0, 24, 13)
+	theta := 0.8
+	x := make([]float64, 16)
+	y := make([]float64, 16)
+	dir := make([]float64, 16)
+	for i := range dir {
+		dir[i] = rng.NormFloat64()
+	}
+	dist.Normalize(dir)
+	for i := range y {
+		y[i] = x[i] + theta*dir[i]
+	}
+	agree := 0
+	for i := 0; i < e.K; i++ {
+		if e.HashValue(i, x) == e.HashValue(i, y) {
+			agree++
+		}
+	}
+	rate := float64(agree) / float64(e.K)
+	want := e.CollisionProb(theta)
+	if math.Abs(rate-want) > 0.05 {
+		t.Fatalf("empirical collision %.3f vs ϵ(θ)=%.3f", rate, want)
+	}
+}
+
+func TestEuclideanThresholdMonotoneAndBounded(t *testing.T) {
+	e := NewEuclideanExtractor(16, 8, 7, 1.0, 0.8, 24, 5)
+	prev := -1
+	for theta := 0.0; theta <= 0.8+1e-9; theta += 0.02 {
+		tau := e.Threshold(theta)
+		if tau < prev || tau > e.TauMax() {
+			t.Fatalf("bad τ at θ=%v: %d (prev %d)", theta, tau, prev)
+		}
+		prev = tau
+	}
+	if e.Threshold(0) != 0 {
+		t.Fatal("Threshold(0) must be 0")
+	}
+	if e.Threshold(99) != e.Threshold(0.8) {
+		t.Fatal("thresholds above θmax must clamp")
+	}
+}
+
+func TestEffectiveTauTop(t *testing.T) {
+	// Integer distance with θmax < τmax: only θmax+1 decoders useful.
+	h := NewHammingExtractor(64, 20, 32)
+	if got := EffectiveTauTop[dist.BitVector](h); got != 20 {
+		t.Fatalf("EffectiveTauTop=%d", got)
+	}
+	j := NewJaccardExtractor(8, 2, 0.4, 16, 3)
+	if got := EffectiveTauTop[dist.IntSet](j); got != 16 {
+		t.Fatalf("EffectiveTauTop=%d", got)
+	}
+}
+
+func TestExtractorInterfaceAccessors(t *testing.T) {
+	// Exercise the small accessors through the generic interface so every
+	// extractor stays a valid feature.Extractor.
+	ed := NewEditExtractor("ab", 6, 4, 4)
+	var e1 Extractor[string] = ed
+	if e1.TauMax() != 4 || e1.ThetaMax() != 4 || e1.Threshold(2) != 2 {
+		t.Fatal("edit accessors wrong")
+	}
+	jc := NewJaccardExtractor(4, 2, 0.4, 8, 1)
+	var e2 Extractor[dist.IntSet] = jc
+	if e2.TauMax() != 8 || e2.ThetaMax() != 0.4 {
+		t.Fatal("jaccard accessors wrong")
+	}
+	eu := NewEuclideanExtractor(4, 4, 7, 1.0, 0.8, 8, 1)
+	var e3 Extractor[[]float64] = eu
+	if e3.ThetaMax() != 0.8 {
+		t.Fatal("euclidean accessors wrong")
+	}
+}
+
+func TestEuclideanHashValueClamps(t *testing.T) {
+	e := NewEuclideanExtractor(2, 2, 3, 0.01, 0.8, 8, 2) // tiny r → extreme hashes
+	big := []float64{1e6, 1e6}
+	small := []float64{-1e6, -1e6}
+	for i := 0; i < e.K; i++ {
+		if h := e.HashValue(i, big); h < 0 || h > e.V {
+			t.Fatalf("unclamped hash %d", h)
+		}
+		if h := e.HashValue(i, small); h < 0 || h > e.V {
+			t.Fatalf("unclamped hash %d", h)
+		}
+	}
+}
+
+func TestEmptySetAndJaccardBMin(t *testing.T) {
+	e := NewJaccardExtractor(4, 2, 0.4, 8, 3)
+	if got := e.BMin(0, dist.NewIntSet(nil)); got != 0 {
+		t.Fatalf("empty-set BMin=%d", got)
+	}
+	f := e.Encode(dist.NewIntSet(nil))
+	ones := 0
+	for _, v := range f {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != e.K {
+		t.Fatal("empty set must still encode one bit per block")
+	}
+}
+
+func TestProportionalNegativeTheta(t *testing.T) {
+	h := NewHammingExtractor(16, 8, 8)
+	if h.Threshold(-3) != 0 {
+		t.Fatal("negative θ must map to 0")
+	}
+}
+
+// The equivalency property of Section 4: thermometer-coded L1 distance maps
+// EXACTLY to Hamming distance — no approximation.
+func TestL1ExtractorExactEquivalence(t *testing.T) {
+	e := NewL1Extractor(4, 10, 12, 12)
+	if e.Dim() != 40 {
+		t.Fatalf("Dim=%d", e.Dim())
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() []int {
+			v := make([]int, 4)
+			for i := range v {
+				v[i] = r.Intn(11)
+			}
+			return v
+		}
+		x, y := mk(), mk()
+		l1 := 0
+		for i := range x {
+			d := x[i] - y[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+		}
+		return hammingFloats(e.Encode(x), e.Encode(y)) == l1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1ExtractorClampsValues(t *testing.T) {
+	e := NewL1Extractor(2, 5, 8, 8)
+	f := e.Encode([]int{-3, 99})
+	ones := 0
+	for _, v := range f {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 5 { // first coord clamps to 0, second to 5
+		t.Fatalf("ones=%d", ones)
+	}
+	// Short input vectors leave trailing coords at zero.
+	g := e.Encode([]int{2})
+	if g[0] != 1 || g[1] != 1 || g[2] != 0 {
+		t.Fatalf("short encode wrong: %v", g[:6])
+	}
+	if e.Threshold(4) != 4 || e.Threshold(99) != 8 {
+		t.Fatal("threshold transform wrong")
+	}
+	if e.TauMax() != 8 || e.ThetaMax() != 8 {
+		t.Fatal("accessors wrong")
+	}
+}

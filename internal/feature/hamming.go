@@ -1,0 +1,36 @@
+package feature
+
+import "cardnet/internal/dist"
+
+// HammingExtractor handles binary-vector data under Hamming distance
+// (Section 4.1): records are fed to the regression model unchanged, and the
+// threshold is used directly when θmax ≤ τmax, otherwise mapped
+// proportionally.
+type HammingExtractor struct {
+	D        int // record dimensionality
+	MaxTau   int
+	MaxTheta int
+}
+
+// NewHammingExtractor returns an extractor for d-bit vectors supporting
+// thresholds up to thetaMax with at most tauMax+1 decoders.
+func NewHammingExtractor(d, thetaMax, tauMax int) *HammingExtractor {
+	return &HammingExtractor{D: d, MaxTau: tauMax, MaxTheta: thetaMax}
+}
+
+// Dim returns the record dimensionality.
+func (h *HammingExtractor) Dim() int { return h.D }
+
+// TauMax returns the transformed-threshold ceiling.
+func (h *HammingExtractor) TauMax() int { return h.MaxTau }
+
+// ThetaMax returns the largest supported Hamming threshold.
+func (h *HammingExtractor) ThetaMax() float64 { return float64(h.MaxTheta) }
+
+// Encode expands the bit vector to floats; the identity feature map.
+func (h *HammingExtractor) Encode(r dist.BitVector) []float64 { return r.Floats() }
+
+// Threshold maps θ to τ (identity when θmax ≤ τmax).
+func (h *HammingExtractor) Threshold(theta float64) int {
+	return proportional(theta, float64(h.MaxTheta), h.MaxTau, true)
+}

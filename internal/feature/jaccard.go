@@ -1,0 +1,83 @@
+package feature
+
+import (
+	"math/rand"
+
+	"cardnet/internal/dist"
+)
+
+// JaccardExtractor handles sets under Jaccard distance via b-bit minwise
+// hashing (Section 4.3): k random orderings of the token universe are
+// simulated with universal hash functions; for each, the last b bits of the
+// minimum hash value are one-hot encoded into 2^b bits. Two sets x, y agree
+// on a permutation's bmin with probability 1 − J(x,y), so the expected
+// Hamming distance between encodings is proportional to the Jaccard
+// distance.
+type JaccardExtractor struct {
+	K        int // number of hash functions (permutations)
+	B        int // bits kept from each min-hash
+	MaxTau   int
+	MaxTheta float64
+
+	// Universal hash parameters: h_i(e) = (a_i·e + c_i) mod p.
+	a, c []uint64
+}
+
+const jaccardPrime = uint64(4294967311) // smallest prime > 2^32
+
+// NewJaccardExtractor draws k hash functions from the given seed.
+func NewJaccardExtractor(k, b int, thetaMax float64, tauMax int, seed int64) *JaccardExtractor {
+	rng := rand.New(rand.NewSource(seed))
+	e := &JaccardExtractor{K: k, B: b, MaxTau: tauMax, MaxTheta: thetaMax,
+		a: make([]uint64, k), c: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		e.a[i] = uint64(rng.Int63n(int64(jaccardPrime-1))) + 1
+		e.c[i] = uint64(rng.Int63n(int64(jaccardPrime)))
+	}
+	return e
+}
+
+// Dim returns 2^b · k.
+func (e *JaccardExtractor) Dim() int { return (1 << e.B) * e.K }
+
+// TauMax returns the transformed-threshold ceiling.
+func (e *JaccardExtractor) TauMax() int { return e.MaxTau }
+
+// ThetaMax returns the largest supported Jaccard distance threshold.
+func (e *JaccardExtractor) ThetaMax() float64 { return e.MaxTheta }
+
+// hash applies the i-th universal hash to a token.
+func (e *JaccardExtractor) hash(i int, token uint32) uint64 {
+	return (e.a[i]*uint64(token) + e.c[i]) % jaccardPrime
+}
+
+// BMin returns the last b bits of the minimum hash value of the set under
+// permutation i (an integer in [0, 2^b)). Empty sets map to 0.
+func (e *JaccardExtractor) BMin(i int, s dist.IntSet) int {
+	if len(s) == 0 {
+		return 0
+	}
+	minV := e.hash(i, s[0])
+	for _, tok := range s[1:] {
+		if h := e.hash(i, tok); h < minV {
+			minV = h
+		}
+	}
+	return int(minV & ((1 << e.B) - 1))
+}
+
+// Encode produces the concatenation of k one-hot 2^b-bit blocks.
+func (e *JaccardExtractor) Encode(s dist.IntSet) []float64 {
+	out := make([]float64, e.Dim())
+	block := 1 << e.B
+	for i := 0; i < e.K; i++ {
+		out[i*block+e.BMin(i, s)] = 1
+	}
+	return out
+}
+
+// Threshold maps θ proportionally: the expected Hamming distance is
+// f(x,y)·d, linear in the Jaccard distance.
+func (e *JaccardExtractor) Threshold(theta float64) int {
+	return proportional(theta, e.MaxTheta, e.MaxTau, false)
+}

@@ -1,0 +1,52 @@
+package feature
+
+// L1Extractor implements the "equivalency" feature-extraction option of
+// Section 4: L1 (Manhattan) distance over bounded integer vectors can be
+// expressed *exactly* in a Hamming space by thermometer-coding each
+// coordinate — value v in [0, Max] becomes Max bits with the lowest v set —
+// so H(enc(x), enc(y)) = Σᵢ |xᵢ − yᵢ| with no approximation. The threshold
+// transform is therefore the same as for native Hamming distance.
+type L1Extractor struct {
+	Coords   int // number of integer coordinates
+	Max      int // maximum coordinate value (inclusive)
+	MaxTau   int
+	MaxTheta int
+}
+
+// NewL1Extractor supports vectors of `coords` integers in [0, max].
+func NewL1Extractor(coords, max, thetaMax, tauMax int) *L1Extractor {
+	return &L1Extractor{Coords: coords, Max: max, MaxTau: tauMax, MaxTheta: thetaMax}
+}
+
+// Dim returns coords·max bits.
+func (e *L1Extractor) Dim() int { return e.Coords * e.Max }
+
+// TauMax returns the transformed-threshold ceiling.
+func (e *L1Extractor) TauMax() int { return e.MaxTau }
+
+// ThetaMax returns the largest supported L1 threshold.
+func (e *L1Extractor) ThetaMax() float64 { return float64(e.MaxTheta) }
+
+// Encode thermometer-codes every coordinate (values clamp to [0, Max]).
+func (e *L1Extractor) Encode(x []int) []float64 {
+	out := make([]float64, e.Dim())
+	for c := 0; c < e.Coords && c < len(x); c++ {
+		v := x[c]
+		if v < 0 {
+			v = 0
+		}
+		if v > e.Max {
+			v = e.Max
+		}
+		base := c * e.Max
+		for j := 0; j < v; j++ {
+			out[base+j] = 1
+		}
+	}
+	return out
+}
+
+// Threshold matches the Hamming transformation (the conversion is lossless).
+func (e *L1Extractor) Threshold(theta float64) int {
+	return proportional(theta, float64(e.MaxTheta), e.MaxTau, true)
+}

@@ -1,0 +1,383 @@
+// Package gbdt implements gradient-boosted regression trees from scratch as
+// the substrate for the paper's TL-XGB and TL-LGBM baselines (Section
+// 9.1.2). Trees use histogram split finding over quantile bins; two growth
+// strategies are provided — level-wise (XGBoost's classic style) and
+// leaf-wise best-first (LightGBM's style) — plus optional per-feature
+// monotone-increasing constraints, which the baselines apply to the
+// threshold feature so their estimates stay monotone like the paper reports.
+package gbdt
+
+import (
+	"math"
+	"sort"
+)
+
+// Growth selects the tree-growth strategy.
+type Growth int
+
+// Growth strategies.
+const (
+	LevelWise Growth = iota // XGBoost-style: expand the whole frontier per depth
+	LeafWise                // LightGBM-style: always split the best leaf next
+)
+
+// Config holds boosting hyperparameters.
+type Config struct {
+	Trees        int
+	MaxDepth     int     // level-wise depth cap
+	MaxLeaves    int     // leaf-wise leaf cap
+	LearningRate float64 // shrinkage
+	MinSamples   int     // minimum samples per leaf
+	Bins         int     // histogram bins per feature
+	Lambda       float64 // L2 regularization on leaf values
+	Growth       Growth
+	// MonotoneInc lists feature indices whose effect must be
+	// non-decreasing (the threshold feature for cardinality estimation).
+	MonotoneInc []int
+}
+
+// DefaultConfig returns sane small-scale defaults.
+func DefaultConfig(growth Growth) Config {
+	return Config{
+		Trees:        60,
+		MaxDepth:     5,
+		MaxLeaves:    24,
+		LearningRate: 0.15,
+		MinSamples:   4,
+		Bins:         32,
+		Lambda:       1,
+		Growth:       growth,
+	}
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	Cfg   Config
+	Base  float64 // initial prediction (target mean)
+	Trees []*Tree
+}
+
+// Tree is one regression tree over binned features.
+type Tree struct {
+	Nodes []Node
+	// thresholds used at split time are raw feature values (bin uppers).
+}
+
+// Node is one tree node; Leaf nodes carry Value.
+type Node struct {
+	Feature     int
+	Threshold   float64 // go left when x[Feature] <= Threshold
+	Left, Right int     // children indices; -1 for leaves
+	Value       float64
+	Leaf        bool
+}
+
+// Fit trains the ensemble on rows X (n × d, row-major slices) and targets y.
+func Fit(cfg Config, x [][]float64, y []float64) *Model {
+	m := &Model{Cfg: cfg}
+	n := len(x)
+	if n == 0 {
+		return m
+	}
+	for _, v := range y {
+		m.Base += v
+	}
+	m.Base /= float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.Base
+	}
+	residual := make([]float64, n)
+
+	cuts := binCuts(x, cfg.Bins)
+	binned := binRows(x, cuts)
+
+	mono := map[int]bool{}
+	for _, f := range cfg.MonotoneInc {
+		mono[f] = true
+	}
+
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range residual {
+			residual[i] = y[i] - pred[i]
+		}
+		tree := growTree(cfg, binned, cuts, x, residual, mono)
+		m.Trees = append(m.Trees, tree)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * tree.predict(x[i])
+		}
+	}
+	return m
+}
+
+// Predict evaluates the ensemble on one row.
+func (m *Model) Predict(row []float64) float64 {
+	out := m.Base
+	for _, t := range m.Trees {
+		out += m.Cfg.LearningRate * t.predict(row)
+	}
+	return out
+}
+
+// NumNodes returns the total node count, a size proxy.
+func (m *Model) NumNodes() int {
+	n := 0
+	for _, t := range m.Trees {
+		n += len(t.Nodes)
+	}
+	return n
+}
+
+func (t *Tree) predict(row []float64) float64 {
+	i := 0
+	for !t.Nodes[i].Leaf {
+		nd := &t.Nodes[i]
+		if row[nd.Feature] <= nd.Threshold {
+			i = nd.Left
+		} else {
+			i = nd.Right
+		}
+	}
+	return t.Nodes[i].Value
+}
+
+// binCuts computes per-feature quantile cut points (bin upper bounds).
+func binCuts(x [][]float64, bins int) [][]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	d := len(x[0])
+	cuts := make([][]float64, d)
+	vals := make([]float64, len(x))
+	for f := 0; f < d; f++ {
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		sort.Float64s(vals)
+		var cs []float64
+		for b := 1; b < bins; b++ {
+			v := vals[b*len(vals)/bins]
+			if len(cs) == 0 || v > cs[len(cs)-1] {
+				cs = append(cs, v)
+			}
+		}
+		cuts[f] = cs
+	}
+	return cuts
+}
+
+// binRows maps every feature value to its bin index.
+func binRows(x [][]float64, cuts [][]float64) [][]uint8 {
+	out := make([][]uint8, len(x))
+	for i, row := range x {
+		br := make([]uint8, len(row))
+		for f, v := range row {
+			br[f] = uint8(sort.SearchFloat64s(cuts[f], v))
+		}
+		out[i] = br
+	}
+	return out
+}
+
+// leafCandidate describes a splittable frontier node.
+type leafCandidate struct {
+	node    int
+	rows    []int
+	depth   int
+	lo, hi  float64 // monotone value bounds inherited from ancestors
+	gain    float64 // best split gain (filled by findSplit)
+	split   split
+	canGrow bool
+}
+
+type split struct {
+	feature  int
+	bin      int
+	thr      float64
+	leftSum  float64
+	leftCnt  int
+	rightSum float64
+	rightCnt int
+	valid    bool
+}
+
+// growTree builds one tree on the residuals.
+func growTree(cfg Config, binned [][]uint8, cuts [][]float64, x [][]float64, residual []float64, mono map[int]bool) *Tree {
+	t := &Tree{}
+	rows := make([]int, len(residual))
+	for i := range rows {
+		rows[i] = i
+	}
+	root := leafCandidate{node: t.addLeaf(leafValue(cfg, rows, residual, math.Inf(-1), math.Inf(1))),
+		rows: rows, lo: math.Inf(-1), hi: math.Inf(1)}
+
+	switch cfg.Growth {
+	case LeafWise:
+		frontier := []leafCandidate{root}
+		leaves := 1
+		for leaves < cfg.MaxLeaves {
+			bestIdx := -1
+			for i := range frontier {
+				if !frontier[i].canGrow {
+					frontier[i].split = findSplit(cfg, binned, cuts, frontier[i].rows, residual, mono, frontier[i].lo, frontier[i].hi)
+					frontier[i].gain = frontier[i].split.gain(cfg)
+					frontier[i].canGrow = true
+				}
+				if frontier[i].split.valid && (bestIdx == -1 || frontier[i].gain > frontier[bestIdx].gain) {
+					bestIdx = i
+				}
+			}
+			if bestIdx == -1 {
+				break
+			}
+			cand := frontier[bestIdx]
+			frontier = append(frontier[:bestIdx], frontier[bestIdx+1:]...)
+			l, r := t.applySplit(cfg, cand, binned, residual, mono)
+			frontier = append(frontier, l, r)
+			leaves++
+		}
+	default: // LevelWise
+		frontier := []leafCandidate{root}
+		for depth := 0; depth < cfg.MaxDepth && len(frontier) > 0; depth++ {
+			var next []leafCandidate
+			for _, cand := range frontier {
+				cand.split = findSplit(cfg, binned, cuts, cand.rows, residual, mono, cand.lo, cand.hi)
+				if !cand.split.valid {
+					continue
+				}
+				l, r := t.applySplit(cfg, cand, binned, residual, mono)
+				next = append(next, l, r)
+			}
+			frontier = next
+		}
+	}
+	return t
+}
+
+func (t *Tree) addLeaf(value float64) int {
+	t.Nodes = append(t.Nodes, Node{Leaf: true, Value: value, Left: -1, Right: -1})
+	return len(t.Nodes) - 1
+}
+
+// applySplit converts a leaf into an internal node and returns the two new
+// leaf candidates, threading monotone bounds to children.
+func (t *Tree) applySplit(cfg Config, cand leafCandidate, binned [][]uint8, residual []float64, mono map[int]bool) (leafCandidate, leafCandidate) {
+	s := cand.split
+	var leftRows, rightRows []int
+	for _, r := range cand.rows {
+		if int(binned[r][s.feature]) <= s.bin {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+	lLo, lHi := cand.lo, cand.hi
+	rLo, rHi := cand.lo, cand.hi
+	if mono[s.feature] {
+		// Children along a monotone feature must keep left ≤ mid ≤ right.
+		leftMean := s.leftSum / float64(s.leftCnt)
+		rightMean := s.rightSum / float64(s.rightCnt)
+		mid := (clamp(leftMean, cand.lo, cand.hi) + clamp(rightMean, cand.lo, cand.hi)) / 2
+		lHi = math.Min(lHi, mid)
+		rLo = math.Max(rLo, mid)
+	}
+	lVal := leafValue(cfg, leftRows, residual, lLo, lHi)
+	rVal := leafValue(cfg, rightRows, residual, rLo, rHi)
+
+	// addLeaf may grow t.Nodes, so take the node address only afterwards.
+	left := t.addLeaf(lVal)
+	right := t.addLeaf(rVal)
+	nd := &t.Nodes[cand.node]
+	nd.Leaf = false
+	nd.Feature = s.feature
+	nd.Threshold = s.thr
+	nd.Left = left
+	nd.Right = right
+	return leafCandidate{node: left, rows: leftRows, depth: cand.depth + 1, lo: lLo, hi: lHi},
+		leafCandidate{node: right, rows: rightRows, depth: cand.depth + 1, lo: rLo, hi: rHi}
+}
+
+// leafValue is the regularized mean residual, clamped to monotone bounds.
+func leafValue(cfg Config, rows []int, residual []float64, lo, hi float64) float64 {
+	var sum float64
+	for _, r := range rows {
+		sum += residual[r]
+	}
+	v := sum / (float64(len(rows)) + cfg.Lambda)
+	return clamp(v, lo, hi)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// gain scores a split by variance reduction.
+func (s split) gain(cfg Config) float64 {
+	if !s.valid {
+		return math.Inf(-1)
+	}
+	l := s.leftSum * s.leftSum / (float64(s.leftCnt) + cfg.Lambda)
+	r := s.rightSum * s.rightSum / (float64(s.rightCnt) + cfg.Lambda)
+	tot := (s.leftSum + s.rightSum) * (s.leftSum + s.rightSum) /
+		(float64(s.leftCnt+s.rightCnt) + cfg.Lambda)
+	return l + r - tot
+}
+
+// findSplit scans histogram bins of every feature for the best split. For
+// monotone features, splits whose left mean exceeds the right mean are
+// rejected (the standard monotone-constraint rule).
+func findSplit(cfg Config, binned [][]uint8, cuts [][]float64, rows []int, residual []float64, mono map[int]bool, lo, hi float64) split {
+	best := split{valid: false}
+	if len(rows) < 2*cfg.MinSamples {
+		return best
+	}
+	d := len(binned[0])
+	bestGain := math.Inf(-1)
+	for f := 0; f < d; f++ {
+		nb := len(cuts[f]) + 1
+		if nb < 2 {
+			continue
+		}
+		sums := make([]float64, nb)
+		cnts := make([]int, nb)
+		for _, r := range rows {
+			b := binned[r][f]
+			sums[b] += residual[r]
+			cnts[b]++
+		}
+		var ls float64
+		var lc int
+		var ts float64
+		tc := 0
+		for b := 0; b < nb; b++ {
+			ts += sums[b]
+			tc += cnts[b]
+		}
+		for b := 0; b < nb-1; b++ {
+			ls += sums[b]
+			lc += cnts[b]
+			rc := tc - lc
+			if lc < cfg.MinSamples || rc < cfg.MinSamples {
+				continue
+			}
+			rs := ts - ls
+			if mono[f] && ls/float64(lc) > rs/float64(rc) {
+				continue
+			}
+			s := split{feature: f, bin: b, thr: cuts[f][b],
+				leftSum: ls, leftCnt: lc, rightSum: rs, rightCnt: rc, valid: true}
+			if g := s.gain(cfg); g > bestGain && g > 1e-12 {
+				bestGain = g
+				best = s
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeData(rng *rand.Rand, n int, f func(a, b float64) float64) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x[i] = []float64{a, b}
+		y[i] = f(a, b)
+	}
+	return x, y
+}
+
+func mse(m *Model, x [][]float64, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+func TestFitLearnsAdditiveFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(a, b float64) float64 { return 3*a + math.Sin(b)*5 }
+	x, y := makeData(rng, 500, f)
+	for _, g := range []Growth{LevelWise, LeafWise} {
+		m := Fit(DefaultConfig(g), x, y)
+		if e := mse(m, x, y); e > 1.0 {
+			t.Fatalf("growth=%v train MSE %.3f too high", g, e)
+		}
+	}
+}
+
+func TestEmptyFit(t *testing.T) {
+	m := Fit(DefaultConfig(LevelWise), nil, nil)
+	if m.Base != 0 || len(m.Trees) != 0 {
+		t.Fatalf("empty fit should be trivial: %+v", m)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := makeData(rng, 100, func(a, b float64) float64 { return 0 })
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 7
+	}
+	m := Fit(DefaultConfig(LeafWise), x, y)
+	if math.Abs(m.Predict(x[0])-7) > 1e-6 {
+		t.Fatalf("constant target mispredicted: %v", m.Predict(x[0]))
+	}
+}
+
+func TestMonotoneConstraintHolds(t *testing.T) {
+	// y increases with feature 0 but has confounding noise; with the
+	// constraint, predictions must never decrease in feature 0.
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		x[i] = []float64{a, b}
+		y[i] = 2*a + rng.NormFloat64()*3 + b
+	}
+	for _, g := range []Growth{LevelWise, LeafWise} {
+		cfg := DefaultConfig(g)
+		cfg.MonotoneInc = []int{0}
+		m := Fit(cfg, x, y)
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			b := r.Float64() * 10
+			prev := math.Inf(-1)
+			for a := 0.0; a <= 10; a += 0.25 {
+				p := m.Predict([]float64{a, b})
+				if p < prev-1e-9 {
+					return false
+				}
+				prev = p
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("growth=%v violates monotone constraint: %v", g, err)
+		}
+	}
+}
+
+func TestMonotoneConstraintStillFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := makeData(rng, 400, func(a, b float64) float64 { return a * 2 })
+	cfg := DefaultConfig(LevelWise)
+	cfg.MonotoneInc = []int{0}
+	m := Fit(cfg, x, y)
+	if e := mse(m, x, y); e > 1.5 {
+		t.Fatalf("monotone fit too loose: MSE %.3f", e)
+	}
+}
+
+func TestLeafWiseRespectsMaxLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := makeData(rng, 300, func(a, b float64) float64 { return a*b + a })
+	cfg := DefaultConfig(LeafWise)
+	cfg.MaxLeaves = 4
+	cfg.Trees = 3
+	m := Fit(cfg, x, y)
+	for _, tree := range m.Trees {
+		leaves := 0
+		for _, nd := range tree.Nodes {
+			if nd.Leaf {
+				leaves++
+			}
+		}
+		if leaves > 4 {
+			t.Fatalf("tree has %d leaves, cap 4", leaves)
+		}
+	}
+}
+
+func TestLevelWiseRespectsDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := makeData(rng, 300, func(a, b float64) float64 { return a * b })
+	cfg := DefaultConfig(LevelWise)
+	cfg.MaxDepth = 2
+	cfg.Trees = 2
+	m := Fit(cfg, x, y)
+	for _, tree := range m.Trees {
+		// Depth-2 tree: ≤ 3 internal + 4 leaves = 7 nodes.
+		if len(tree.Nodes) > 7 {
+			t.Fatalf("tree has %d nodes for depth cap 2", len(tree.Nodes))
+		}
+	}
+}
+
+func TestMinSamplesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := makeData(rng, 30, func(a, b float64) float64 { return a })
+	cfg := DefaultConfig(LevelWise)
+	cfg.MinSamples = 20 // only the root qualifies, no split possible
+	m := Fit(cfg, x, y)
+	for _, tree := range m.Trees {
+		if len(tree.Nodes) != 1 {
+			t.Fatalf("expected stump, got %d nodes", len(tree.Nodes))
+		}
+	}
+}
+
+func TestNumNodesPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := makeData(rng, 200, func(a, b float64) float64 { return a + b })
+	m := Fit(DefaultConfig(LeafWise), x, y)
+	if m.NumNodes() <= 0 {
+		t.Fatal("NumNodes must be positive after training")
+	}
+}
+
+func TestPredictionsFiniteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := makeData(rng, 300, func(a, b float64) float64 { return a*a - b })
+	m := Fit(DefaultConfig(LeafWise), x, y)
+	f := func(a, b float64) bool {
+		p := m.Predict([]float64{math.Mod(math.Abs(a), 20), math.Mod(math.Abs(b), 20)})
+		return !math.IsNaN(p) && !math.IsInf(p, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"cardnet/internal/metrics"
+)
+
+func ExampleEvaluate() {
+	actual := []float64{100, 10, 1}
+	estimated := []float64{110, 8, 2}
+	r := metrics.Evaluate(actual, estimated)
+	fmt.Printf("MAPE=%.1f%% q=%.2f\n", r.MAPE, r.MeanQError)
+	// Output: MAPE=43.3% q=1.45
+}
+
+func ExampleIsMonotonic() {
+	fmt.Println(metrics.IsMonotonic([]float64{1, 2, 2, 5}))
+	fmt.Println(metrics.IsMonotonic([]float64{1, 3, 2}))
+	// Output:
+	// true
+	// false
+}

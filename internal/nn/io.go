@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a flattened copy of a model's parameter values in Params()
+// order. It is the interchange format for gob-based model persistence: the
+// caller rebuilds the architecture from its own config and then restores the
+// parameter values.
+type Snapshot struct {
+	Names  []string
+	Values [][]float64
+}
+
+// TakeSnapshot copies the current values of params.
+func TakeSnapshot(params []*Param) *Snapshot {
+	s := &Snapshot{}
+	for _, p := range params {
+		v := make([]float64, len(p.Value))
+		copy(v, p.Value)
+		s.Names = append(s.Names, p.Name)
+		s.Values = append(s.Values, v)
+	}
+	return s
+}
+
+// Restore writes snapshot values back into params. It errors when the
+// shapes do not line up, which indicates an architecture mismatch.
+func (s *Snapshot) Restore(params []*Param) error {
+	if len(params) != len(s.Values) {
+		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(s.Values), len(params))
+	}
+	for i, p := range params {
+		if len(p.Value) != len(s.Values[i]) {
+			return fmt.Errorf("nn: param %d (%s) has %d values, snapshot has %d",
+				i, p.Name, len(p.Value), len(s.Values[i]))
+		}
+		copy(p.Value, s.Values[i])
+	}
+	return nil
+}
+
+// Encode writes the snapshot with gob.
+func (s *Snapshot) Encode(w io.Writer) error { return gob.NewEncoder(w).Encode(s) }
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParamBytes returns the serialized size in bytes of the given parameters,
+// used to report model sizes (paper Table 9).
+func ParamBytes(params []*Param) int {
+	var buf bytes.Buffer
+	if err := TakeSnapshot(params).Encode(&buf); err != nil {
+		return 0
+	}
+	return buf.Len()
+}
+
+// NumParams returns the total scalar parameter count.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Value)
+	}
+	return n
+}

@@ -1,0 +1,276 @@
+// Package nn is a from-scratch feedforward neural-network framework: dense
+// layers, common activations, Adam/SGD optimizers, regression and
+// variational-auto-encoder losses, and parameter snapshots. It exists because
+// the reproduced paper (CardNet, SIGMOD 2020) trains FNN+VAE models and no
+// third-party DL framework is available; everything here uses only the
+// standard library.
+//
+// The framework is batch-oriented: a batch is a tensor.Matrix with one row
+// per example. Layers cache whatever they need during Forward and consume it
+// in Backward, so a layer instance must not be shared across concurrent
+// passes. Gradients accumulate into Param.Grad until the optimizer steps and
+// zeroes them.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cardnet/internal/tensor"
+)
+
+// Param is one learnable parameter tensor, flattened. Grad has the same
+// length as Value and is accumulated by Backward passes.
+type Param struct {
+	Name  string
+	Value []float64
+	Grad  []float64
+}
+
+// newParam allocates a named parameter of n values.
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Value: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// Layer is one differentiable block. Forward consumes a batch (rows =
+// examples) and returns the output batch; Backward consumes dL/dOutput and
+// returns dL/dInput, accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+	OutDim(inDim int) int
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape Out×In.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Matrix // cached input
+}
+
+// NewDense returns a Dense layer with Glorot-uniform weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam("W", in*out), B: newParam("b", out)}
+	tensor.GlorotUniform(rng, d.W.Value, in, out)
+	return d
+}
+
+func (d *Dense) weightMatrix() *tensor.Matrix {
+	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Value}
+}
+
+func (d *Dense) gradMatrix() *tensor.Matrix {
+	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Grad}
+}
+
+// Forward computes x·Wᵀ + b.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	d.x = x
+	y := tensor.MatMulABT(x, d.weightMatrix(), nil)
+	tensor.AddBias(y, d.B.Value)
+	return y
+}
+
+// Backward accumulates dW = dYᵀ·X, dB = colsums(dY) and returns dX = dY·W.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	// dW (Out×In) += gradᵀ (Out×batch) · x (batch×In)
+	gw := d.gradMatrix()
+	for n := 0; n < grad.Rows; n++ {
+		gn := grad.Row(n)
+		xn := d.x.Row(n)
+		for o, gv := range gn {
+			if gv == 0 {
+				continue
+			}
+			row := gw.Row(o)
+			for i, xv := range xn {
+				row[i] += gv * xv
+			}
+		}
+	}
+	for n := 0; n < grad.Rows; n++ {
+		tensor.Axpy(1, grad.Row(n), d.B.Grad)
+	}
+	return tensor.MatMul(grad, d.weightMatrix(), nil)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutDim reports the layer output width.
+func (d *Dense) OutDim(int) int { return d.Out }
+
+// Activation kinds supported by the framework.
+type ActKind int
+
+// Supported activation functions.
+const (
+	ReLU ActKind = iota
+	ELU
+	Sigmoid
+	Tanh
+	Identity
+)
+
+// Activation is an element-wise nonlinearity layer.
+type Activation struct {
+	Kind ActKind
+	x, y *tensor.Matrix
+}
+
+// NewActivation returns an element-wise activation layer.
+func NewActivation(kind ActKind) *Activation { return &Activation{Kind: kind} }
+
+// Apply evaluates the activation on one scalar.
+func (a *Activation) Apply(v float64) float64 {
+	switch a.Kind {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case ELU:
+		if v < 0 {
+			return math.Exp(v) - 1
+		}
+		return v
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case Tanh:
+		return math.Tanh(v)
+	default:
+		return v
+	}
+}
+
+// deriv returns dy/dx given both the input x and output y values.
+func (a *Activation) deriv(x, y float64) float64 {
+	switch a.Kind {
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case ELU:
+		if x < 0 {
+			return y + 1 // d/dx (e^x - 1) = e^x = y+1
+		}
+		return 1
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Forward applies the activation element-wise.
+func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	a.x = x
+	y := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = a.Apply(v)
+	}
+	a.y = y
+	return y
+}
+
+// Backward multiplies the upstream gradient by the activation derivative.
+func (a *Activation) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		out.Data[i] = g * a.deriv(a.x.Data[i], a.y.Data[i])
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (a *Activation) Params() []*Param { return nil }
+
+// OutDim reports the unchanged width.
+func (a *Activation) OutDim(in int) int { return in }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential chains the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// NewMLP builds Dense+activation stacks: dims = [in, h1, ..., out]. The
+// final layer gets outAct (use Identity for linear regression heads).
+func NewMLP(rng *rand.Rand, dims []int, hidden, outAct ActKind) *Sequential {
+	s := &Sequential{}
+	for i := 0; i+1 < len(dims); i++ {
+		s.Layers = append(s.Layers, NewDense(rng, dims[i], dims[i+1]))
+		act := hidden
+		if i+2 == len(dims) {
+			act = outAct
+		}
+		if act != Identity {
+			s.Layers = append(s.Layers, NewActivation(act))
+		}
+	}
+	return s
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates all layer parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutDim chains layer widths.
+func (s *Sequential) OutDim(in int) int {
+	for _, l := range s.Layers {
+		in = l.OutDim(in)
+	}
+	return in
+}
+
+// Softmax computes a row-wise softmax of logits into a fresh matrix.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		o := out.Row(i)
+		for j, v := range row {
+			o[j] = math.Exp(v - m)
+			sum += o[j]
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out
+}

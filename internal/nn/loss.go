@@ -1,0 +1,82 @@
+package nn
+
+import "math"
+
+// MSLE returns the mean squared logarithmic error between predictions and
+// targets: mean((log(1+ŷ) − log(1+y))²). The paper trains its regressors on
+// MSLE because it approximates MAPE while compressing the long-tailed output
+// space (Section 6.2). Negative predictions are clamped to 0 first.
+func MSLE(pred, target []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		d := log1pClamped(p) - log1pClamped(target[i])
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MSLEGrad returns dMSLE/dpred for one prediction/target pair, given the
+// number of terms n in the mean.
+func MSLEGrad(pred, target float64, n int) float64 {
+	p := pred
+	if p < 0 {
+		p = 0
+	}
+	return 2 * (log1pClamped(pred) - log1pClamped(target)) / (1 + p) / float64(n)
+}
+
+func log1pClamped(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, target []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MSEGrad returns dMSE/dpred for one pair.
+func MSEGrad(pred, target float64, n int) float64 {
+	return 2 * (pred - target) / float64(n)
+}
+
+// BCE returns the mean binary cross-entropy between probabilities p∈(0,1)
+// and binary (or [0,1]) targets, summed over dimensions, averaged over rows.
+func BCE(pred, target []float64) float64 {
+	var s float64
+	for i, p := range pred {
+		p = clampProb(p)
+		s += -target[i]*math.Log(p) - (1-target[i])*math.Log(1-p)
+	}
+	return s / float64(len(pred))
+}
+
+// BCEGrad returns dBCE/dpred for one element, given n total elements.
+func BCEGrad(pred, target float64, n int) float64 {
+	p := clampProb(pred)
+	return (-target/p + (1-target)/(1-p)) / float64(n)
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-7
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

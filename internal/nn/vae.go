@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cardnet/internal/tensor"
+)
+
+// VAE is a variational auto-encoder over binary input vectors. The CardNet
+// encoder Γ concatenates the raw binary vector with the VAE latent code to
+// obtain a dense, robust representation (paper Section 5.2.1): training uses
+// the reparameterized sample z = μ + ε⊙exp(½·logσ²); inference uses the
+// deterministic expected latent E[z] = μ so the overall estimator stays
+// deterministic (required for the monotonicity guarantee of Lemma 2).
+type VAE struct {
+	InDim, Latent int
+
+	Encoder    *Sequential // InDim → hidden stack
+	MuHead     *Dense      // hidden → Latent
+	LogVarHead *Dense      // hidden → Latent
+	Decoder    *Sequential // Latent → InDim, sigmoid output
+}
+
+// VAEOutput carries the intermediate tensors of one training-mode forward
+// pass, needed by Backward.
+type VAEOutput struct {
+	H      *tensor.Matrix // encoder trunk output
+	Mu     *tensor.Matrix
+	LogVar *tensor.Matrix
+	Eps    *tensor.Matrix
+	Z      *tensor.Matrix // reparameterized latent
+	Recon  *tensor.Matrix // sigmoid reconstruction
+}
+
+// NewVAE builds a VAE with the given hidden stack (applied symmetrically to
+// encoder and decoder) and latent width. The paper uses ELU activations for
+// the VAE, in line with its reference implementation.
+func NewVAE(rng *rand.Rand, inDim int, hidden []int, latent int) *VAE {
+	encDims := append([]int{inDim}, hidden...)
+	enc := NewMLP(rng, encDims, ELU, ELU)
+	lastHidden := encDims[len(encDims)-1]
+
+	decDims := []int{latent}
+	for i := len(hidden) - 1; i >= 0; i-- {
+		decDims = append(decDims, hidden[i])
+	}
+	decDims = append(decDims, inDim)
+	dec := NewMLP(rng, decDims, ELU, Sigmoid)
+
+	return &VAE{
+		InDim:      inDim,
+		Latent:     latent,
+		Encoder:    enc,
+		MuHead:     NewDense(rng, lastHidden, latent),
+		LogVarHead: NewDense(rng, lastHidden, latent),
+		Decoder:    dec,
+	}
+}
+
+// Params returns all learnable parameters.
+func (v *VAE) Params() []*Param {
+	ps := v.Encoder.Params()
+	ps = append(ps, v.MuHead.Params()...)
+	ps = append(ps, v.LogVarHead.Params()...)
+	ps = append(ps, v.Decoder.Params()...)
+	return ps
+}
+
+// ForwardTrain runs the stochastic (reparameterized) forward pass.
+func (v *VAE) ForwardTrain(x *tensor.Matrix, rng *rand.Rand) *VAEOutput {
+	h := v.Encoder.Forward(x, true)
+	mu := v.MuHead.Forward(h, true)
+	logvar := v.LogVarHead.Forward(h, true)
+	eps := tensor.NewMatrix(mu.Rows, mu.Cols)
+	for i := range eps.Data {
+		eps.Data[i] = rng.NormFloat64()
+	}
+	z := tensor.NewMatrix(mu.Rows, mu.Cols)
+	for i := range z.Data {
+		z.Data[i] = mu.Data[i] + eps.Data[i]*math.Exp(0.5*logvar.Data[i])
+	}
+	recon := v.Decoder.Forward(z, true)
+	return &VAEOutput{H: h, Mu: mu, LogVar: logvar, Eps: eps, Z: z, Recon: recon}
+}
+
+// Mean returns the deterministic latent E[z] = μ for inference.
+func (v *VAE) Mean(x *tensor.Matrix) *tensor.Matrix {
+	h := v.Encoder.Forward(x, false)
+	return v.MuHead.Forward(h, false)
+}
+
+// Loss returns the reconstruction (BCE) and KL components of the ELBO loss,
+// both averaged over the batch.
+func (v *VAE) Loss(out *VAEOutput, x *tensor.Matrix) (recon, kl float64) {
+	recon = BCE(out.Recon.Data, x.Data) * float64(x.Cols) // sum over dims, mean over rows
+	for i := range out.Mu.Data {
+		mu, lv := out.Mu.Data[i], out.LogVar.Data[i]
+		kl += -0.5 * (1 + lv - mu*mu - math.Exp(lv))
+	}
+	kl /= float64(x.Rows)
+	return recon, kl
+}
+
+// Backward accumulates gradients of scale·(BCE + KL) plus an optional
+// external gradient dzExtra on the latent z (used when a downstream
+// regression loss flows back into the VAE during joint training). dzExtra
+// may be nil. Gradients land in the VAE parameters; the gradient w.r.t. the
+// binary input is discarded (inputs are data, not learnables).
+func (v *VAE) Backward(out *VAEOutput, x *tensor.Matrix, scale float64, dzExtra *tensor.Matrix) {
+	batch := float64(x.Rows)
+
+	dz := tensor.NewMatrix(out.Z.Rows, out.Z.Cols)
+	if scale != 0 {
+		// Reconstruction path: dBCE/dRecon, backward through decoder to z.
+		dRecon := tensor.NewMatrix(out.Recon.Rows, out.Recon.Cols)
+		n := len(out.Recon.Data)
+		for i := range dRecon.Data {
+			// BCE above is sum-over-dims, mean-over-rows: per-element grad is
+			// elementwise BCE grad times cols (undo the per-element mean).
+			dRecon.Data[i] = scale * BCEGrad(out.Recon.Data[i], x.Data[i], n) * float64(x.Cols)
+		}
+		dz = v.Decoder.Backward(dRecon)
+	}
+	if dzExtra != nil {
+		for i := range dz.Data {
+			dz.Data[i] += dzExtra.Data[i]
+		}
+	}
+
+	// Reparameterization: z = μ + ε·exp(½·logσ²).
+	dMu := tensor.NewMatrix(out.Mu.Rows, out.Mu.Cols)
+	dLogVar := tensor.NewMatrix(out.Mu.Rows, out.Mu.Cols)
+	for i := range dz.Data {
+		std := math.Exp(0.5 * out.LogVar.Data[i])
+		dMu.Data[i] = dz.Data[i]
+		dLogVar.Data[i] = dz.Data[i] * out.Eps.Data[i] * 0.5 * std
+	}
+	if scale != 0 {
+		// KL term: d/dμ = μ/batch, d/dlogσ² = ½(exp(logσ²)−1)/batch.
+		for i := range dMu.Data {
+			dMu.Data[i] += scale * out.Mu.Data[i] / batch
+			dLogVar.Data[i] += scale * 0.5 * (math.Exp(out.LogVar.Data[i]) - 1) / batch
+		}
+	}
+
+	dh1 := v.MuHead.Backward(dMu)
+	dh2 := v.LogVarHead.Backward(dLogVar)
+	for i := range dh1.Data {
+		dh1.Data[i] += dh2.Data[i]
+	}
+	v.Encoder.Backward(dh1)
+}
+
+// Pretrain trains the VAE unsupervised on the given binary data for the
+// requested epochs (the paper pretrains its VAE for 100 epochs before the
+// regression model trains). It returns the final epoch's mean loss.
+func (v *VAE) Pretrain(data *tensor.Matrix, epochs, batchSize int, lr float64, rng *rand.Rand) float64 {
+	opt := NewAdam(v.Params(), lr)
+	perm := make([]int, data.Rows)
+	var last float64
+	for e := 0; e < epochs; e++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var total float64
+		var batches int
+		for start := 0; start < data.Rows; start += batchSize {
+			end := start + batchSize
+			if end > data.Rows {
+				end = data.Rows
+			}
+			xb := tensor.NewMatrix(end-start, data.Cols)
+			for r := start; r < end; r++ {
+				copy(xb.Row(r-start), data.Row(perm[r]))
+			}
+			out := v.ForwardTrain(xb, rng)
+			recon, kl := v.Loss(out, xb)
+			total += recon + kl
+			batches++
+			v.Backward(out, xb, 1, nil)
+			ClipGradNorm(v.Params(), 5)
+			opt.Step()
+		}
+		if batches > 0 {
+			last = total / float64(batches)
+		}
+	}
+	return last
+}

@@ -1,0 +1,179 @@
+// Package optimizer implements the paper's two query-optimizer case studies
+// (Section 9.11): a conjunctive Euclidean-distance query planner that picks
+// the most selective predicate for index lookup, and a GPH-style Hamming
+// query processor that allocates per-partition thresholds by dynamic
+// programming over estimated cardinalities.
+package optimizer
+
+import (
+	"cardnet/internal/dist"
+	"cardnet/internal/simselect"
+)
+
+// Predicate is one conjunct: Euclidean distance on attribute Attr within
+// Theta.
+type Predicate struct {
+	Attr  int
+	Query []float64
+	Theta float64
+}
+
+// AttrEstimator estimates the cardinality of one predicate. The benchmark
+// wires CardNet-A, DB-US, TL-XGB, DL-RMI, a per-threshold Mean, and an Exact
+// oracle behind this interface (paper Figure 11).
+type AttrEstimator interface {
+	Name() string
+	EstimateAttr(attr int, q []float64, theta float64) float64
+}
+
+// ConjunctiveDB holds a multi-attribute embedding table (paper Table 11
+// analogue) with one exact metric index per attribute: queries are processed
+// by one index lookup on a chosen predicate followed by on-the-fly
+// verification of the rest.
+type ConjunctiveDB struct {
+	Attrs [][][]float64 // attrs × records × dims
+	N     int
+	idx   []*simselect.EuclideanIndex
+}
+
+// NewConjunctiveDB indexes every attribute.
+func NewConjunctiveDB(attrs [][][]float64) *ConjunctiveDB {
+	db := &ConjunctiveDB{Attrs: attrs}
+	if len(attrs) > 0 {
+		db.N = len(attrs[0])
+	}
+	for _, col := range attrs {
+		db.idx = append(db.idx, simselect.NewEuclideanIndex(col))
+	}
+	return db
+}
+
+// Process answers the conjunction using predicate `pick` for the index
+// lookup. It returns the matching record ids and the number of candidate
+// records the lookup produced (the postprocessing cost driver).
+func (db *ConjunctiveDB) Process(preds []Predicate, pick int) (result []int, candidates int) {
+	p := preds[pick]
+	cands := db.idx[p.Attr].Select(p.Query, p.Theta)
+	candidates = len(cands)
+	for _, id := range cands {
+		ok := true
+		for pi, q := range preds {
+			if pi == pick {
+				continue
+			}
+			if dist.Euclidean(q.Query, db.Attrs[q.Attr][id]) > q.Theta {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			result = append(result, id)
+		}
+	}
+	return result, candidates
+}
+
+// CandidateCount returns the exact selectivity of one predicate (the oracle
+// the planner tries to approximate).
+func (db *ConjunctiveDB) CandidateCount(p Predicate) int {
+	return db.idx[p.Attr].Count(p.Query, p.Theta)
+}
+
+// Plan picks the predicate with the smallest estimated cardinality.
+func Plan(est AttrEstimator, preds []Predicate) int {
+	best, bestV := 0, est.EstimateAttr(preds[0].Attr, preds[0].Query, preds[0].Theta)
+	for i := 1; i < len(preds); i++ {
+		if v := est.EstimateAttr(preds[i].Attr, preds[i].Query, preds[i].Theta); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// BestPick returns the predicate with the smallest actual candidate count —
+// the plan an oracle would choose. Used to measure planning precision
+// (paper Figure 12).
+func (db *ConjunctiveDB) BestPick(preds []Predicate) int {
+	best, bestV := 0, db.CandidateCount(preds[0])
+	for i := 1; i < len(preds); i++ {
+		if v := db.CandidateCount(preds[i]); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// ExactAttrEstimator is the Exact oracle of Figure 11: it returns the true
+// cardinality (instantly, by index lookup — its planning cost is charged to
+// estimation time in the benchmark, as in the paper).
+type ExactAttrEstimator struct{ DB *ConjunctiveDB }
+
+// Name identifies the oracle.
+func (e *ExactAttrEstimator) Name() string { return "Exact" }
+
+// EstimateAttr returns the exact count.
+func (e *ExactAttrEstimator) EstimateAttr(attr int, q []float64, theta float64) float64 {
+	return float64(e.DB.idx[attr].Count(q, theta))
+}
+
+// MeanAttrEstimator is the Mean baseline of Figure 11: it returns the same
+// cardinality for a given (attribute, quantized threshold), precomputed from
+// offline random queries, ignoring the query itself.
+type MeanAttrEstimator struct {
+	Buckets int
+	MaxTh   float64
+	Table   [][]float64 // attr × bucket
+}
+
+// NewMeanAttrEstimator precomputes per-bucket mean cardinalities from the
+// dataset itself (sampled queries).
+func NewMeanAttrEstimator(db *ConjunctiveDB, buckets int, maxTheta float64, samples int) *MeanAttrEstimator {
+	m := &MeanAttrEstimator{Buckets: buckets, MaxTh: maxTheta}
+	for attr := range db.Attrs {
+		row := make([]float64, buckets)
+		for b := 0; b < buckets; b++ {
+			theta := maxTheta * (float64(b) + 0.5) / float64(buckets)
+			var sum float64
+			n := 0
+			for s := 0; s < samples && s < db.N; s++ {
+				sum += float64(db.idx[attr].Count(db.Attrs[attr][s*db.N/samples], theta))
+				n++
+			}
+			if n > 0 {
+				row[b] = sum / float64(n)
+			}
+		}
+		m.Table = append(m.Table, row)
+	}
+	return m
+}
+
+// Name identifies the baseline.
+func (m *MeanAttrEstimator) Name() string { return "Mean" }
+
+// EstimateAttr looks up the per-threshold mean.
+func (m *MeanAttrEstimator) EstimateAttr(attr int, _ []float64, theta float64) float64 {
+	b := int(theta / m.MaxTh * float64(m.Buckets))
+	if b < 0 {
+		b = 0
+	}
+	if b >= m.Buckets {
+		b = m.Buckets - 1
+	}
+	return m.Table[attr][b]
+}
+
+// FuncAttrEstimator adapts an arbitrary per-attribute estimation function
+// (how the benchmark wires learned models trained per attribute).
+type FuncAttrEstimator struct {
+	Label string
+	Fn    func(attr int, q []float64, theta float64) float64
+}
+
+// Name identifies the adapted model.
+func (f *FuncAttrEstimator) Name() string { return f.Label }
+
+// EstimateAttr delegates to the wrapped function.
+func (f *FuncAttrEstimator) EstimateAttr(attr int, q []float64, theta float64) float64 {
+	return f.Fn(attr, q, theta)
+}

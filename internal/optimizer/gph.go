@@ -1,0 +1,287 @@
+package optimizer
+
+import (
+	"math"
+
+	"cardnet/internal/dist"
+)
+
+// GPH processes Hamming-distance selections over high-dimensional binary
+// vectors in the style of the GPH algorithm (Qin et al., ICDE 2018): the
+// dimensions are split into m non-overlapping parts; by the general
+// pigeonhole principle, if H(q,y) ≤ θ and the per-part threshold allocation
+// satisfies Σᵢ(tᵢ+1) ≥ θ+1, every answer must be within tᵢ of q on at least
+// one part. Each part has its own pattern index; the candidate set is the
+// union of the per-part selections, verified with the full distance. A query
+// optimizer allocates {tᵢ} by dynamic programming to minimize the sum of
+// *estimated* per-part cardinalities — the role CardNet-A plays in the
+// paper's Figure 13 case study.
+type GPH struct {
+	Records  []dist.BitVector
+	PartBits int
+	Parts    int
+	bounds   []int // part p covers bits [bounds[p], bounds[p+1])
+	patterns []map[uint64][]int
+}
+
+// NewGPH partitions dim bits into ⌈dim/partBits⌉ parts and builds per-part
+// pattern indexes.
+func NewGPH(records []dist.BitVector, partBits int) *GPH {
+	g := &GPH{Records: records, PartBits: partBits}
+	if len(records) == 0 {
+		return g
+	}
+	dim := records[0].Len
+	g.Parts = (dim + partBits - 1) / partBits
+	for p := 0; p <= g.Parts; p++ {
+		b := p * partBits
+		if b > dim {
+			b = dim
+		}
+		g.bounds = append(g.bounds, b)
+	}
+	g.patterns = make([]map[uint64][]int, g.Parts)
+	for p := range g.patterns {
+		g.patterns[p] = map[uint64][]int{}
+		for id, r := range records {
+			pat := g.partPattern(r, p)
+			g.patterns[p][pat] = append(g.patterns[p][pat], id)
+		}
+	}
+	return g
+}
+
+// partPattern extracts part p of a record as an integer (parts are ≤ 64
+// bits).
+func (g *GPH) partPattern(r dist.BitVector, p int) uint64 {
+	var pat uint64
+	for i := g.bounds[p]; i < g.bounds[p+1]; i++ {
+		if r.Bit(i) {
+			pat |= 1 << (i - g.bounds[p])
+		}
+	}
+	return pat
+}
+
+// PartCount returns the exact number of records within part-distance t of
+// the query on part p (the oracle per-part cardinality).
+func (g *GPH) PartCount(q dist.BitVector, p, t int) int {
+	if t < 0 {
+		return 0
+	}
+	qp := g.partPattern(q, p)
+	n := 0
+	for pat, ids := range g.patterns[p] {
+		if popcount(pat^qp) <= t {
+			n += len(ids)
+		}
+	}
+	return n
+}
+
+// PartEstimator estimates per-part cardinalities for threshold allocation.
+type PartEstimator interface {
+	Name() string
+	EstimatePart(part int, q dist.BitVector, t int) float64
+}
+
+// Allocate chooses per-part thresholds minimizing the summed estimated
+// cardinality subject to the pigeonhole condition Σ(tᵢ+1) ≥ θ+1, via dynamic
+// programming over parts and allocated budget. tᵢ = −1 deselects a part
+// (contributing no candidates and no budget). Returns the allocation.
+func (g *GPH) Allocate(est PartEstimator, q dist.BitVector, theta int) []int {
+	need := theta + 1
+	maxT := g.PartBits
+	// dp[s] = minimal cost achieving exactly budget s so far; choice[p][s]
+	// records the threshold used. Budgets above `need` clamp to `need`.
+	const inf = math.MaxFloat64
+	dp := make([]float64, need+1)
+	choice := make([][]int, g.Parts)
+	for s := 1; s <= need; s++ {
+		dp[s] = inf
+	}
+	for p := 0; p < g.Parts; p++ {
+		choice[p] = make([]int, need+1)
+		for s := range choice[p] {
+			choice[p][s] = -2 // unreached
+		}
+		next := make([]float64, need+1)
+		for s := range next {
+			next[s] = inf
+		}
+		// Option: skip the part (t = −1).
+		for s := 0; s <= need; s++ {
+			if dp[s] < next[s] {
+				next[s] = dp[s]
+				choice[p][s] = -1
+			}
+		}
+		// Option: allocate t ∈ [0, maxT].
+		costs := make([]float64, maxT+1)
+		for t := 0; t <= maxT; t++ {
+			costs[t] = est.EstimatePart(p, q, t)
+			if t > 0 && costs[t] < costs[t-1] {
+				costs[t] = costs[t-1] // enforce monotone costs for the DP
+			}
+		}
+		for s := 0; s <= need; s++ {
+			if dp[s] == inf {
+				continue
+			}
+			for t := 0; t <= maxT; t++ {
+				ns := s + t + 1
+				if ns > need {
+					ns = need
+				}
+				if c := dp[s] + costs[t]; c < next[ns] {
+					next[ns] = c
+					choice[p][ns] = t
+				}
+			}
+		}
+		dp = next
+	}
+
+	// Reconstruct. If the budget is unreachable (θ too large for the
+	// dimensionality), fall back to maximal thresholds.
+	alloc := make([]int, g.Parts)
+	if dp[need] == inf {
+		for p := range alloc {
+			alloc[p] = maxT
+		}
+		return alloc
+	}
+	s := need
+	for p := g.Parts - 1; p >= 0; p-- {
+		t := choice[p][s]
+		if t == -2 {
+			t = maxT
+		}
+		alloc[p] = t
+		if t >= 0 {
+			s -= t + 1
+			if s < 0 {
+				s = 0
+			}
+		}
+	}
+	return alloc
+}
+
+// Process answers the selection with the given allocation: per-part
+// candidate generation, dedup, full verification. It returns the result ids
+// and the candidate count (the postprocessing cost driver).
+func (g *GPH) Process(q dist.BitVector, theta int, alloc []int) (result []int, candidates int) {
+	seen := map[int]bool{}
+	for p := 0; p < g.Parts; p++ {
+		t := alloc[p]
+		if t < 0 {
+			continue
+		}
+		qp := g.partPattern(q, p)
+		for pat, ids := range g.patterns[p] {
+			if popcount(pat^qp) <= t {
+				for _, id := range ids {
+					seen[id] = true
+				}
+			}
+		}
+	}
+	candidates = len(seen)
+	for id := range seen {
+		if dist.Hamming(q, g.Records[id]) <= theta {
+			result = append(result, id)
+		}
+	}
+	return result, candidates
+}
+
+// ExactPartEstimator is the Exact oracle for allocation.
+type ExactPartEstimator struct{ G *GPH }
+
+// Name identifies the oracle.
+func (e *ExactPartEstimator) Name() string { return "Exact" }
+
+// EstimatePart returns the true per-part count.
+func (e *ExactPartEstimator) EstimatePart(part int, q dist.BitVector, t int) float64 {
+	return float64(e.G.PartCount(q, part, t))
+}
+
+// MeanPartEstimator returns the same cardinality for every query at a given
+// (part, threshold), precomputed from sampled queries — Figure 13's Mean.
+type MeanPartEstimator struct {
+	Table [][]float64 // part × threshold
+}
+
+// NewMeanPartEstimator averages PartCount over `samples` dataset records.
+func NewMeanPartEstimator(g *GPH, samples int) *MeanPartEstimator {
+	m := &MeanPartEstimator{}
+	if samples > len(g.Records) {
+		samples = len(g.Records)
+	}
+	for p := 0; p < g.Parts; p++ {
+		row := make([]float64, g.PartBits+1)
+		for t := 0; t <= g.PartBits; t++ {
+			var sum float64
+			for s := 0; s < samples; s++ {
+				q := g.Records[s*len(g.Records)/samples]
+				sum += float64(g.PartCount(q, p, t))
+			}
+			if samples > 0 {
+				row[t] = sum / float64(samples)
+			}
+		}
+		m.Table = append(m.Table, row)
+	}
+	return m
+}
+
+// Name identifies the baseline.
+func (m *MeanPartEstimator) Name() string { return "Mean" }
+
+// EstimatePart looks up the mean.
+func (m *MeanPartEstimator) EstimatePart(part int, _ dist.BitVector, t int) float64 {
+	if t < 0 {
+		return 0
+	}
+	row := m.Table[part]
+	if t >= len(row) {
+		t = len(row) - 1
+	}
+	return row[t]
+}
+
+// FuncPartEstimator adapts arbitrary per-part estimators (CardNet-A, DL-RMI,
+// histograms) for the allocator.
+type FuncPartEstimator struct {
+	Label string
+	Fn    func(part int, q dist.BitVector, t int) float64
+}
+
+// Name identifies the adapted model.
+func (f *FuncPartEstimator) Name() string { return f.Label }
+
+// EstimatePart delegates to the wrapped function.
+func (f *FuncPartEstimator) EstimatePart(part int, q dist.BitVector, t int) float64 {
+	return f.Fn(part, q, t)
+}
+
+// PartView extracts part p of a full record as a standalone BitVector, the
+// record type per-part estimators are trained on.
+func (g *GPH) PartView(r dist.BitVector, p int) dist.BitVector {
+	width := g.bounds[p+1] - g.bounds[p]
+	v := dist.NewBitVector(g.PartBits)
+	for i := 0; i < width; i++ {
+		if r.Bit(g.bounds[p] + i) {
+			v.SetBit(i, true)
+		}
+	}
+	return v
+}
+
+func popcount(w uint64) int {
+	w -= (w >> 1) & 0x5555555555555555
+	w = (w & 0x3333333333333333) + ((w >> 2) & 0x3333333333333333)
+	w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((w * 0x0101010101010101) >> 56)
+}

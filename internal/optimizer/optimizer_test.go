@@ -1,0 +1,242 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cardnet/internal/dataset"
+	"cardnet/internal/dist"
+)
+
+func buildConjDB() *ConjunctiveDB {
+	attrs := [][][]float64{
+		dataset.Vectors(300, 8, 3, 0.1, true, 1),
+		dataset.Vectors(300, 8, 3, 0.25, true, 2),
+		dataset.Vectors(300, 8, 3, 0.05, true, 3),
+	}
+	return NewConjunctiveDB(attrs)
+}
+
+func TestConjunctiveProcessCorrectAnyPick(t *testing.T) {
+	db := buildConjDB()
+	preds := []Predicate{
+		{Attr: 0, Query: db.Attrs[0][7], Theta: 0.3},
+		{Attr: 1, Query: db.Attrs[1][7], Theta: 0.4},
+		{Attr: 2, Query: db.Attrs[2][7], Theta: 0.2},
+	}
+	// Result set must be identical regardless of which predicate drives the
+	// index lookup.
+	base, _ := db.Process(preds, 0)
+	sort.Ints(base)
+	for pick := 1; pick < 3; pick++ {
+		got, _ := db.Process(preds, pick)
+		sort.Ints(got)
+		if len(got) != len(base) {
+			t.Fatalf("pick %d: %d results vs %d", pick, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("pick %d: result sets differ", pick)
+			}
+		}
+	}
+	// Record 7 satisfies all predicates at distance 0.
+	found := false
+	for _, id := range base {
+		if id == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query record itself must be in the result")
+	}
+}
+
+func TestPlanPicksSmallestEstimate(t *testing.T) {
+	est := &FuncAttrEstimator{Label: "stub", Fn: func(attr int, _ []float64, _ float64) float64 {
+		return float64(10 - attr) // attr 2 is the most selective
+	}}
+	preds := []Predicate{{Attr: 0}, {Attr: 1}, {Attr: 2}}
+	if got := Plan(est, preds); got != 2 {
+		t.Fatalf("Plan picked %d", got)
+	}
+	if est.Name() != "stub" {
+		t.Fatal("name")
+	}
+}
+
+func TestExactEstimatorAlwaysBestPick(t *testing.T) {
+	db := buildConjDB()
+	exact := &ExactAttrEstimator{DB: db}
+	rng := rand.New(rand.NewSource(4))
+	agree := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		id := rng.Intn(db.N)
+		preds := []Predicate{
+			{Attr: 0, Query: db.Attrs[0][id], Theta: 0.2 + rng.Float64()*0.3},
+			{Attr: 1, Query: db.Attrs[1][id], Theta: 0.2 + rng.Float64()*0.3},
+			{Attr: 2, Query: db.Attrs[2][id], Theta: 0.2 + rng.Float64()*0.3},
+		}
+		if Plan(exact, preds) == db.BestPick(preds) {
+			agree++
+		}
+	}
+	if agree != trials {
+		t.Fatalf("exact estimator should always match BestPick: %d/%d", agree, trials)
+	}
+}
+
+func TestMeanAttrEstimator(t *testing.T) {
+	db := buildConjDB()
+	m := NewMeanAttrEstimator(db, 8, 0.5, 20)
+	if m.Name() != "Mean" {
+		t.Fatal("name")
+	}
+	// Same estimate for any query at one threshold.
+	a := m.EstimateAttr(0, db.Attrs[0][1], 0.3)
+	b := m.EstimateAttr(0, db.Attrs[0][2], 0.3)
+	if a != b {
+		t.Fatal("Mean must ignore the query")
+	}
+	// Larger thresholds bucket to larger means on clustered data.
+	lo := m.EstimateAttr(0, nil, 0.05)
+	hi := m.EstimateAttr(0, nil, 0.45)
+	if hi < lo {
+		t.Fatalf("mean estimates should grow with θ: %v vs %v", lo, hi)
+	}
+	// Out-of-range thresholds clamp.
+	if m.EstimateAttr(0, nil, -1) != m.EstimateAttr(0, nil, 0.001) {
+		t.Fatal("negative θ must clamp to first bucket")
+	}
+	if m.EstimateAttr(0, nil, 99) != m.EstimateAttr(0, nil, 0.499) {
+		t.Fatal("huge θ must clamp to last bucket")
+	}
+}
+
+func buildGPH(n int) (*GPH, []dist.BitVector) {
+	recs := dataset.BinaryCodes(n, 96, 6, 0.06, 11)
+	return NewGPH(recs, 32), recs
+}
+
+func TestGPHProcessExactResults(t *testing.T) {
+	g, recs := buildGPH(300)
+	exact := &ExactPartEstimator{G: g}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := recs[r.Intn(len(recs))]
+		theta := r.Intn(24)
+		alloc := g.Allocate(exact, q, theta)
+		got, _ := g.Process(q, theta, alloc)
+		want := 0
+		for _, rec := range recs {
+			if dist.Hamming(q, rec) <= theta {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPHAllocationSatisfiesPigeonhole(t *testing.T) {
+	g, recs := buildGPH(200)
+	exact := &ExactPartEstimator{G: g}
+	for _, theta := range []int{0, 5, 16, 31} {
+		alloc := g.Allocate(exact, recs[0], theta)
+		if len(alloc) != g.Parts {
+			t.Fatalf("alloc len %d", len(alloc))
+		}
+		budget := 0
+		for _, tt := range alloc {
+			if tt >= 0 {
+				budget += tt + 1
+			}
+			if tt > g.PartBits {
+				t.Fatalf("threshold %d exceeds part width", tt)
+			}
+		}
+		if budget < theta+1 {
+			t.Fatalf("pigeonhole violated at θ=%d: budget %d", theta, budget)
+		}
+	}
+}
+
+func TestGPHBetterEstimatesSmallerCandidates(t *testing.T) {
+	g, recs := buildGPH(400)
+	exact := &ExactPartEstimator{G: g}
+	mean := NewMeanPartEstimator(g, 20)
+	var exactCands, meanCands int
+	for i := 0; i < 20; i++ {
+		q := recs[i*17%len(recs)]
+		theta := 16
+		_, c1 := g.Process(q, theta, g.Allocate(exact, q, theta))
+		_, c2 := g.Process(q, theta, g.Allocate(mean, q, theta))
+		exactCands += c1
+		meanCands += c2
+	}
+	if exactCands > meanCands {
+		t.Fatalf("exact-driven allocation should not produce more candidates: %d vs %d", exactCands, meanCands)
+	}
+}
+
+func TestGPHPartCountAndView(t *testing.T) {
+	g, recs := buildGPH(100)
+	q := recs[0]
+	// Part distance 32 (full part width) matches every record.
+	for p := 0; p < g.Parts; p++ {
+		if got := g.PartCount(q, p, 32); got != 100 {
+			t.Fatalf("part %d full-width count %d", p, got)
+		}
+		if got := g.PartCount(q, p, -1); got != 0 {
+			t.Fatal("t=-1 must count 0")
+		}
+		// PartView distance equals HammingSlice on the original.
+		v1 := g.PartView(q, p)
+		v2 := g.PartView(recs[5], p)
+		want := dist.HammingSlice(q, recs[5], p*32, minB((p+1)*32, q.Len))
+		if dist.Hamming(v1, v2) != want {
+			t.Fatalf("PartView distance mismatch on part %d", p)
+		}
+	}
+}
+
+func TestMeanPartEstimator(t *testing.T) {
+	g, recs := buildGPH(150)
+	m := NewMeanPartEstimator(g, 10)
+	if m.Name() != "Mean" {
+		t.Fatal("name")
+	}
+	if m.EstimatePart(0, recs[0], -1) != 0 {
+		t.Fatal("t=-1 must estimate 0")
+	}
+	prev := -1.0
+	for t2 := 0; t2 <= 32; t2++ {
+		v := m.EstimatePart(0, recs[0], t2)
+		if v < prev {
+			t.Fatal("mean estimates must be monotone in t")
+		}
+		prev = v
+	}
+	if m.EstimatePart(0, recs[0], 99) != m.EstimatePart(0, recs[0], 32) {
+		t.Fatal("t above part width must clamp")
+	}
+}
+
+func TestGPHEmptyDataset(t *testing.T) {
+	g := NewGPH(nil, 32)
+	if g.Parts != 0 {
+		t.Fatal("empty GPH should have no parts")
+	}
+}
+
+func minB(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package simselect
+
+import "cardnet/internal/dist"
+
+// EditIndex answers edit-distance selections with the classic exact
+// pipeline: a length filter (|len(x)−len(y)| ≤ θ), a q-gram count filter
+// (strings within edit distance θ share at least max(len)−1−(θ−1)·q common
+// q-grams), and banded dynamic-programming verification.
+type EditIndex struct {
+	Records  []string
+	Q        int // q-gram length
+	byLength map[int][]int
+	grams    [][]uint64 // sorted q-gram hashes per record
+}
+
+// NewEditIndex builds the index with 2-grams.
+func NewEditIndex(records []string) *EditIndex {
+	ix := &EditIndex{Records: records, Q: 2, byLength: map[int][]int{}}
+	ix.grams = make([][]uint64, len(records))
+	for i, s := range records {
+		ix.byLength[len(s)] = append(ix.byLength[len(s)], i)
+		ix.grams[i] = qgrams(s, ix.Q)
+	}
+	return ix
+}
+
+// qgrams returns the sorted multiset of q-gram hashes of s.
+func qgrams(s string, q int) []uint64 {
+	if len(s) < q {
+		if len(s) == 0 {
+			return nil
+		}
+		return []uint64{hashGram(s)}
+	}
+	out := make([]uint64, 0, len(s)-q+1)
+	for i := 0; i+q <= len(s); i++ {
+		out = append(out, hashGram(s[i:i+q]))
+	}
+	sortU64(out)
+	return out
+}
+
+func hashGram(g string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(g); i++ {
+		h ^= uint64(g[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func sortU64(a []uint64) {
+	// Insertion sort: gram lists are short (≤ string length).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// commonGrams counts the multiset intersection of two sorted gram lists.
+func commonGrams(a, b []uint64) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Count returns |{y : edit(q,y) ≤ θ}|.
+func (ix *EditIndex) Count(q string, theta float64) int {
+	return len(ix.Select(q, theta))
+}
+
+// Select returns matching record ids.
+func (ix *EditIndex) Select(q string, theta float64) []int {
+	k := int(theta)
+	qg := qgrams(q, ix.Q)
+	var out []int
+	for l := len(q) - k; l <= len(q)+k; l++ {
+		for _, id := range ix.byLength[l] {
+			if !ix.gramFilterPass(qg, len(q), id, k) {
+				continue
+			}
+			if _, ok := dist.EditWithin(q, ix.Records[id], k); ok {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// gramFilterPass applies the count filter: need ≥ maxLen−1−(k−1)·q common
+// q-grams (when that bound is positive).
+func (ix *EditIndex) gramFilterPass(qg []uint64, qlen, id, k int) bool {
+	maxLen := qlen
+	if l := len(ix.Records[id]); l > maxLen {
+		maxLen = l
+	}
+	// One edit destroys at most q grams, and the longer string has
+	// maxLen−q+1 grams, so matches share ≥ maxLen−q+1−k·q grams.
+	need := maxLen - ix.Q + 1 - k*ix.Q
+	if need <= 0 {
+		return true
+	}
+	return commonGrams(qg, ix.grams[id]) >= need
+}
+
+// CountAtEach returns cumulative cardinalities for thresholds 0..maxTheta.
+// It verifies each length-feasible record once at the largest threshold and
+// histograms the exact distances.
+func (ix *EditIndex) CountAtEach(q string, maxTheta int) []int {
+	hist := make([]int, maxTheta+1)
+	qg := qgrams(q, ix.Q)
+	for l := len(q) - maxTheta; l <= len(q)+maxTheta; l++ {
+		for _, id := range ix.byLength[l] {
+			if !ix.gramFilterPass(qg, len(q), id, maxTheta) {
+				continue
+			}
+			if d, ok := dist.EditWithin(q, ix.Records[id], maxTheta); ok {
+				hist[d]++
+			}
+		}
+	}
+	for i := 1; i <= maxTheta; i++ {
+		hist[i] += hist[i-1]
+	}
+	return hist
+}

@@ -1,0 +1,181 @@
+package simselect
+
+import (
+	"sort"
+
+	"cardnet/internal/dist"
+)
+
+// JaccardIndex answers Jaccard-distance selections with the standard exact
+// pipeline: records are size-filtered (J(x,y) ≥ s implies
+// s·|x| ≤ |y| ≤ |x|/s), candidates are generated from an inverted index over
+// the prefix of each record in a global frequency order (prefix filter), and
+// survivors are verified by a sorted-merge overlap count.
+type JaccardIndex struct {
+	Records []dist.IntSet
+	// ordered[i] holds record i's tokens re-ranked by ascending global
+	// frequency (rarest first), the order the prefix filter needs.
+	ordered [][]uint32
+	// inverted maps rank → record ids whose prefix contains that rank.
+	inverted map[uint32][]int
+	rank     map[uint32]uint32
+	bySize   map[int][]int
+}
+
+// NewJaccardIndex builds the prefix-filter index. minSim is the smallest
+// similarity the index will be asked about, i.e. 1 − θmax; shorter prefixes
+// are valid for larger similarities, so indexing at minSim is sufficient for
+// all θ ≤ θmax.
+func NewJaccardIndex(records []dist.IntSet, thetaMax float64) *JaccardIndex {
+	ix := &JaccardIndex{
+		Records:  records,
+		ordered:  make([][]uint32, len(records)),
+		inverted: map[uint32][]int{},
+		rank:     map[uint32]uint32{},
+		bySize:   map[int][]int{},
+	}
+	minSim := 1 - thetaMax
+	if minSim < 0 {
+		minSim = 0
+	}
+
+	freq := map[uint32]int{}
+	for _, r := range records {
+		for _, tok := range r {
+			freq[tok]++
+		}
+	}
+	tokens := make([]uint32, 0, len(freq))
+	for tok := range freq {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		if freq[tokens[i]] != freq[tokens[j]] {
+			return freq[tokens[i]] < freq[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	for i, tok := range tokens {
+		ix.rank[tok] = uint32(i)
+	}
+
+	for id, r := range records {
+		ord := make([]uint32, len(r))
+		for i, tok := range r {
+			ord[i] = ix.rank[tok]
+		}
+		sort.Slice(ord, func(i, j int) bool { return ord[i] < ord[j] })
+		ix.ordered[id] = ord
+		ix.bySize[len(r)] = append(ix.bySize[len(r)], id)
+		for _, rk := range ord[:prefixLen(len(ord), minSim)] {
+			ix.inverted[rk] = append(ix.inverted[rk], id)
+		}
+	}
+	return ix
+}
+
+// prefixLen returns the prefix-filter length for a set of size n at
+// similarity s: n − ⌈s·n⌉ + 1 (clamped to [0, n]).
+func prefixLen(n int, s float64) int {
+	if n == 0 {
+		return 0
+	}
+	p := n - int(ceil(s*float64(n))) + 1
+	if p < 0 {
+		p = 0
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+func ceil(v float64) float64 {
+	i := float64(int(v))
+	if v > i {
+		return i + 1
+	}
+	return i
+}
+
+// Count returns |{y : J(q,y) ≤ θ}| (Jaccard distance).
+func (ix *JaccardIndex) Count(q dist.IntSet, theta float64) int {
+	return len(ix.Select(q, theta))
+}
+
+// Select returns matching record ids.
+func (ix *JaccardIndex) Select(q dist.IntSet, theta float64) []int {
+	sim := 1 - theta
+	qord := make([]uint32, len(q))
+	for i, tok := range q {
+		if rk, ok := ix.rank[tok]; ok {
+			qord[i] = rk
+		} else {
+			qord[i] = ^uint32(0) // unseen token: most frequent rank, never indexed
+		}
+	}
+	sort.Slice(qord, func(i, j int) bool { return qord[i] < qord[j] })
+
+	seen := map[int]bool{}
+	for _, rk := range qord[:prefixLen(len(qord), sim)] {
+		for _, id := range ix.inverted[rk] {
+			seen[id] = true
+		}
+	}
+	var out []int
+	for id := range seen {
+		y := ix.Records[id]
+		if !sizeOK(len(q), len(y), sim) {
+			continue
+		}
+		if dist.Jaccard(q, y) <= theta+1e-12 {
+			out = append(out, id)
+		}
+	}
+	// Empty query edge case: J(∅,∅)=0 matches other empty sets, which have
+	// no prefix; handle via the size index.
+	if len(q) == 0 {
+		out = out[:0]
+		for _, id := range ix.bySize[0] {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sizeOK(nq, ny int, sim float64) bool {
+	if sim <= 0 {
+		return true
+	}
+	lo := sim * float64(nq)
+	hi := float64(nq) / sim
+	return float64(ny) >= lo-1e-12 && float64(ny) <= hi+1e-12
+}
+
+// CountAtEach returns cumulative cardinalities over a grid of thresholds
+// (ascending). One candidate generation pass at the largest threshold is
+// verified once per candidate, then histogrammed onto the grid.
+func (ix *JaccardIndex) CountAtEach(q dist.IntSet, grid []float64) []int {
+	out := make([]int, len(grid))
+	if len(grid) == 0 {
+		return out
+	}
+	maxTheta := grid[len(grid)-1]
+	ids := ix.Select(q, maxTheta)
+	for _, id := range ids {
+		d := dist.Jaccard(q, ix.Records[id])
+		// First grid point with grid[i] ≥ d.
+		pos := sort.SearchFloat64s(grid, d-1e-12)
+		for pos < len(grid) && grid[pos] < d-1e-12 {
+			pos++
+		}
+		if pos < len(grid) {
+			out[pos]++
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package simselect
+
+import (
+	"sort"
+
+	"cardnet/internal/dist"
+)
+
+// HammingMultiIndex answers Hamming selections with the pigeonhole
+// multi-index principle (the family of algorithms behind the paper's
+// SimSelect reference [64]): the dimensions are split into m parts; any
+// record within distance θ ≤ θmax must match the query exactly on at least
+// one part whenever m > θ. Candidates come from per-part exact-match hash
+// tables and are verified with the full distance. For small thresholds this
+// is much faster than a scan; Count falls back to the scan automatically
+// when the pigeonhole condition cannot hold.
+type HammingMultiIndex struct {
+	Records  []dist.BitVector
+	Parts    int
+	bounds   []int
+	tables   []map[uint64][]int
+	fallback *HammingIndex
+}
+
+// NewHammingMultiIndex builds the index with enough parts to support
+// thresholds up to maxTheta (m = maxTheta+1 parts, each matched exactly).
+func NewHammingMultiIndex(records []dist.BitVector, maxTheta int) *HammingMultiIndex {
+	ix := &HammingMultiIndex{Records: records, fallback: NewHammingIndex(records)}
+	if len(records) == 0 {
+		return ix
+	}
+	dim := records[0].Len
+	m := maxTheta + 1
+	if m > dim {
+		m = dim
+	}
+	if m < 1 {
+		m = 1
+	}
+	ix.Parts = m
+	for p := 0; p <= m; p++ {
+		ix.bounds = append(ix.bounds, p*dim/m)
+	}
+	ix.tables = make([]map[uint64][]int, m)
+	for p := 0; p < m; p++ {
+		ix.tables[p] = map[uint64][]int{}
+		for id, r := range records {
+			pat := ix.partPattern(r, p)
+			ix.tables[p][pat] = append(ix.tables[p][pat], id)
+		}
+	}
+	return ix
+}
+
+// partPattern packs part p's bits into a 64-bit signature. Parts wider than
+// 64 bits fold positions modulo 64 with OR; equal parts still fold to equal
+// signatures, so the exact-match filter stays a necessary condition and
+// verification keeps the result exact.
+func (ix *HammingMultiIndex) partPattern(r dist.BitVector, p int) uint64 {
+	var pat uint64
+	lo, hi := ix.bounds[p], ix.bounds[p+1]
+	for i := lo; i < hi; i++ {
+		if r.Bit(i) {
+			pat |= 1 << ((i - lo) % 64)
+		}
+	}
+	return pat
+}
+
+// Count returns |{y : H(q,y) ≤ θ}|.
+func (ix *HammingMultiIndex) Count(q dist.BitVector, theta float64) int {
+	return len(ix.Select(q, theta))
+}
+
+// Select returns the matching record ids in ascending order.
+func (ix *HammingMultiIndex) Select(q dist.BitVector, theta float64) []int {
+	k := int(theta)
+	if ix.Parts == 0 {
+		return nil
+	}
+	if k >= ix.Parts {
+		// Pigeonhole needs more parts than the threshold; fall back.
+		return ix.fallback.Select(q, theta)
+	}
+	seen := map[int]bool{}
+	var out []int
+	for p := 0; p <= k; p++ { // k+1 parts suffice: one must match exactly
+		for _, id := range ix.tables[p][ix.partPattern(q, p)] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if dist.Hamming(q, ix.Records[id]) <= k {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

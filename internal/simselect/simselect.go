@@ -1,0 +1,21 @@
+// Package simselect implements exact similarity-selection algorithms for the
+// four distance functions. They serve two roles from the paper: generating
+// noise-free training labels (Section 6.1) and acting as the SimSelect
+// baseline whose running time estimation must beat (Table 6).
+//
+// Each index exposes Count (the cardinality) and Select (the matching record
+// ids). Filters follow the standard exact pipelines: bit-parallel popcount
+// scans for Hamming, length + q-gram count filters with banded verification
+// for edit distance, size + prefix filters over an inverted index for
+// Jaccard, and a vantage-point metric tree for Euclidean range search. The
+// paper's conjunctive case study uses a cover tree [34]; the VP-tree used
+// here is an exact metric-tree substitute with the same triangle-inequality
+// pruning (see DESIGN.md).
+package simselect
+
+// Counter estimates or computes the cardinality of a similarity selection.
+// Exact indexes and learned estimators both satisfy it, so the benchmark
+// harness can treat them uniformly.
+type Counter[R any] interface {
+	Count(q R, theta float64) int
+}

@@ -1,0 +1,332 @@
+package simselect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cardnet/internal/dist"
+)
+
+func randBits(r *rand.Rand, n, dim int) []dist.BitVector {
+	out := make([]dist.BitVector, n)
+	for i := range out {
+		v := dist.NewBitVector(dim)
+		for j := 0; j < dim; j++ {
+			if r.Intn(2) == 1 {
+				v.SetBit(j, true)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestHammingIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randBits(r, 50, 24)
+		ix := NewHammingIndex(recs)
+		q := randBits(r, 1, 24)[0]
+		for k := 0; k <= 24; k += 4 {
+			want := 0
+			for _, rec := range recs {
+				if dist.Hamming(q, rec) <= k {
+					want++
+				}
+			}
+			if ix.Count(q, float64(k)) != want {
+				return false
+			}
+			if len(ix.Select(q, float64(k))) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingCountAtEachCumulative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	recs := randBits(r, 80, 32)
+	ix := NewHammingIndex(recs)
+	q := randBits(r, 1, 32)[0]
+	cum := ix.CountAtEach(q, 16)
+	for k := 0; k <= 16; k++ {
+		if cum[k] != ix.Count(q, float64(k)) {
+			t.Fatalf("cum[%d]=%d want %d", k, cum[k], ix.Count(q, float64(k)))
+		}
+		if k > 0 && cum[k] < cum[k-1] {
+			t.Fatal("cumulative counts must be nondecreasing")
+		}
+	}
+}
+
+func randStrings(r *rand.Rand, n, maxLen int) []string {
+	out := make([]string, n)
+	for i := range out {
+		l := 1 + r.Intn(maxLen)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = byte('a' + r.Intn(3))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func TestEditIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randStrings(r, 60, 10)
+		ix := NewEditIndex(recs)
+		q := randStrings(r, 1, 10)[0]
+		for k := 0; k <= 5; k++ {
+			want := 0
+			for _, rec := range recs {
+				if dist.Edit(q, rec) <= k {
+					want++
+				}
+			}
+			if got := ix.Count(q, float64(k)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditCountAtEachCumulative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	recs := randStrings(r, 60, 12)
+	ix := NewEditIndex(recs)
+	q := recs[0]
+	cum := ix.CountAtEach(q, 6)
+	for k := 0; k <= 6; k++ {
+		if cum[k] != ix.Count(q, float64(k)) {
+			t.Fatalf("cum[%d]=%d want %d", k, cum[k], ix.Count(q, float64(k)))
+		}
+	}
+	if cum[0] < 1 {
+		t.Fatal("query is in the dataset; distance-0 count must be ≥ 1")
+	}
+}
+
+func randSets(r *rand.Rand, n, universe, maxLen int) []dist.IntSet {
+	out := make([]dist.IntSet, n)
+	for i := range out {
+		l := 1 + r.Intn(maxLen)
+		toks := make([]uint32, l)
+		for j := range toks {
+			toks[j] = uint32(r.Intn(universe))
+		}
+		out[i] = dist.NewIntSet(toks)
+	}
+	return out
+}
+
+func TestJaccardIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randSets(r, 60, 20, 8)
+		ix := NewJaccardIndex(recs, 0.6)
+		q := randSets(r, 1, 20, 8)[0]
+		for _, theta := range []float64{0, 0.2, 0.4, 0.6} {
+			want := 0
+			for _, rec := range recs {
+				if dist.Jaccard(q, rec) <= theta+1e-12 {
+					want++
+				}
+			}
+			if got := ix.Count(q, theta); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardSelectSortedAndVerified(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	recs := randSets(r, 100, 30, 10)
+	ix := NewJaccardIndex(recs, 0.5)
+	q := recs[7]
+	ids := ix.Select(q, 0.3)
+	if !sort.IntsAreSorted(ids) {
+		t.Fatal("Select ids must be sorted")
+	}
+	for _, id := range ids {
+		if dist.Jaccard(q, recs[id]) > 0.3+1e-9 {
+			t.Fatalf("false positive id %d", id)
+		}
+	}
+}
+
+func TestJaccardCountAtEachCumulative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	recs := randSets(r, 80, 25, 8)
+	ix := NewJaccardIndex(recs, 0.5)
+	q := recs[0]
+	grid := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	cum := ix.CountAtEach(q, grid)
+	for i, theta := range grid {
+		if cum[i] != ix.Count(q, theta) {
+			t.Fatalf("cum[%v]=%d want %d", theta, cum[i], ix.Count(q, theta))
+		}
+	}
+}
+
+func randVecs(r *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestEuclideanIndexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randVecs(r, 120, 6)
+		ix := NewEuclideanIndex(recs)
+		q := randVecs(r, 1, 6)[0]
+		for _, theta := range []float64{0.5, 1.5, 3, 10} {
+			want := 0
+			for _, rec := range recs {
+				if dist.Euclidean(q, rec) <= theta {
+					want++
+				}
+			}
+			if got := ix.Count(q, theta); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEuclideanSelectExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	recs := randVecs(r, 200, 4)
+	ix := NewEuclideanIndex(recs)
+	q := recs[3]
+	ids := ix.Select(q, 1.0)
+	if !sort.IntsAreSorted(ids) {
+		t.Fatal("ids must be sorted")
+	}
+	found := false
+	for _, id := range ids {
+		if id == 3 {
+			found = true
+		}
+		if dist.Euclidean(q, recs[id]) > 1.0 {
+			t.Fatal("false positive")
+		}
+	}
+	if !found {
+		t.Fatal("query itself must match at distance 0")
+	}
+}
+
+func TestEuclideanCountAtEachCumulative(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	recs := randVecs(r, 150, 5)
+	ix := NewEuclideanIndex(recs)
+	q := recs[0]
+	grid := []float64{0.2, 0.6, 1.0, 1.8, 3.0}
+	cum := ix.CountAtEach(q, grid)
+	for i, theta := range grid {
+		if cum[i] != ix.Count(q, theta) {
+			t.Fatalf("cum[%v]=%d want %d", theta, cum[i], ix.Count(q, theta))
+		}
+	}
+}
+
+func TestEuclideanIndexEmptyAndTiny(t *testing.T) {
+	ix := NewEuclideanIndex(nil)
+	if ix.Count([]float64{}, 1) != 0 {
+		t.Fatal("empty index must count 0")
+	}
+	one := NewEuclideanIndex([][]float64{{1, 2}})
+	if one.Count([]float64{1, 2}, 0) != 1 {
+		t.Fatal("single-record index broken")
+	}
+}
+
+func TestHammingMultiIndexMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randBits(r, 80, 64)
+		scan := NewHammingIndex(recs)
+		multi := NewHammingMultiIndex(recs, 12)
+		q := randBits(r, 1, 64)[0]
+		for k := 0; k <= 20; k += 3 { // includes k > maxTheta fallback path
+			if multi.Count(q, float64(k)) != scan.Count(q, float64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingMultiIndexSelectSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	recs := randBits(r, 120, 64)
+	multi := NewHammingMultiIndex(recs, 10)
+	ids := multi.Select(recs[4], 8)
+	if !sort.IntsAreSorted(ids) {
+		t.Fatal("ids must be sorted")
+	}
+	found := false
+	for _, id := range ids {
+		if id == 4 {
+			found = true
+		}
+		if dist.Hamming(recs[4], recs[id]) > 8 {
+			t.Fatal("false positive")
+		}
+	}
+	if !found {
+		t.Fatal("query record itself must match")
+	}
+}
+
+func TestHammingMultiIndexWideParts(t *testing.T) {
+	// dim 256 with maxTheta 2 → parts of ~85 bits exercise the fold path.
+	r := rand.New(rand.NewSource(10))
+	recs := randBits(r, 60, 256)
+	scan := NewHammingIndex(recs)
+	multi := NewHammingMultiIndex(recs, 2)
+	for k := 0; k <= 2; k++ {
+		if multi.Count(recs[0], float64(k)) != scan.Count(recs[0], float64(k)) {
+			t.Fatalf("fold path wrong at k=%d", k)
+		}
+	}
+}
+
+func TestHammingMultiIndexEmpty(t *testing.T) {
+	ix := NewHammingMultiIndex(nil, 4)
+	if ix.Count(dist.NewBitVector(8), 2) != 0 {
+		t.Fatal("empty index must count 0")
+	}
+}

@@ -1,0 +1,147 @@
+package simselect
+
+import (
+	"math/rand"
+	"sort"
+
+	"cardnet/internal/dist"
+)
+
+// EuclideanIndex answers Euclidean range selections exactly with a
+// vantage-point tree: each node stores a pivot and the median distance of
+// its subtree to that pivot; range search prunes subtrees with the triangle
+// inequality. It stands in for the paper's cover tree [34] — both are exact
+// metric trees with the same pruning rule (see DESIGN.md substitutions).
+type EuclideanIndex struct {
+	Records [][]float64
+	root    *vpNode
+}
+
+type vpNode struct {
+	id      int
+	radius  float64 // median distance to pivot
+	inside  *vpNode // points with d ≤ radius
+	outside *vpNode
+	leaf    []int // small subtrees stay flat
+}
+
+const vpLeafSize = 16
+
+// NewEuclideanIndex builds the tree with a deterministic pivot choice.
+func NewEuclideanIndex(records [][]float64) *EuclideanIndex {
+	ix := &EuclideanIndex{Records: records}
+	ids := make([]int, len(records))
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(42))
+	ix.root = ix.build(ids, rng)
+	return ix
+}
+
+func (ix *EuclideanIndex) build(ids []int, rng *rand.Rand) *vpNode {
+	if len(ids) == 0 {
+		return nil
+	}
+	if len(ids) <= vpLeafSize {
+		leaf := make([]int, len(ids))
+		copy(leaf, ids)
+		return &vpNode{id: -1, leaf: leaf}
+	}
+	// Random pivot: swap it to the front.
+	p := rng.Intn(len(ids))
+	ids[0], ids[p] = ids[p], ids[0]
+	pivot := ids[0]
+	rest := ids[1:]
+
+	dists := make([]float64, len(rest))
+	for i, id := range rest {
+		dists[i] = dist.Euclidean(ix.Records[pivot], ix.Records[id])
+	}
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	radius := dists[order[mid]]
+
+	insideIDs := make([]int, 0, mid+1)
+	outsideIDs := make([]int, 0, len(order)-mid)
+	for _, oi := range order {
+		if dists[oi] <= radius {
+			insideIDs = append(insideIDs, rest[oi])
+		} else {
+			outsideIDs = append(outsideIDs, rest[oi])
+		}
+	}
+	return &vpNode{
+		id:      pivot,
+		radius:  radius,
+		inside:  ix.build(insideIDs, rng),
+		outside: ix.build(outsideIDs, rng),
+	}
+}
+
+// Count returns |{y : ‖q−y‖ ≤ θ}|.
+func (ix *EuclideanIndex) Count(q []float64, theta float64) int {
+	n := 0
+	ix.walk(ix.root, q, theta, func(int) { n++ })
+	return n
+}
+
+// Select returns matching record ids in ascending order.
+func (ix *EuclideanIndex) Select(q []float64, theta float64) []int {
+	var out []int
+	ix.walk(ix.root, q, theta, func(id int) { out = append(out, id) })
+	sort.Ints(out)
+	return out
+}
+
+func (ix *EuclideanIndex) walk(n *vpNode, q []float64, r float64, emit func(int)) {
+	if n == nil {
+		return
+	}
+	if n.leaf != nil {
+		for _, id := range n.leaf {
+			if dist.Euclidean(q, ix.Records[id]) <= r {
+				emit(id)
+			}
+		}
+		return
+	}
+	d := dist.Euclidean(q, ix.Records[n.id])
+	if d <= r {
+		emit(n.id)
+	}
+	if d-r <= n.radius {
+		ix.walk(n.inside, q, r, emit)
+	}
+	if d+r > n.radius {
+		ix.walk(n.outside, q, r, emit)
+	}
+}
+
+// CountAtEach returns cumulative cardinalities for an ascending threshold
+// grid, histogramming one range pass at the largest threshold.
+func (ix *EuclideanIndex) CountAtEach(q []float64, grid []float64) []int {
+	out := make([]int, len(grid))
+	if len(grid) == 0 {
+		return out
+	}
+	maxTheta := grid[len(grid)-1]
+	ix.walk(ix.root, q, maxTheta, func(id int) {
+		d := dist.Euclidean(q, ix.Records[id])
+		pos := sort.SearchFloat64s(grid, d-1e-12)
+		for pos < len(grid) && grid[pos] < d-1e-12 {
+			pos++
+		}
+		if pos < len(grid) {
+			out[pos]++
+		}
+	})
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package tensor provides the dense float64 vector and matrix kernels used
+// by the neural-network, boosting, and estimator packages. It is deliberately
+// small: the models in this repository only need contiguous row-major
+// matrices, a handful of BLAS-1/2/3 style routines, and seeded random
+// initialization.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector = []float64
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes out = a·b, allocating out when nil. a is r×k, b is k×c.
+func MatMul(a, b, out *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out == nil {
+		out = NewMatrix(a.Rows, b.Cols)
+	} else {
+		if out.Rows != a.Rows || out.Cols != b.Cols {
+			panic("tensor: matmul out has wrong shape")
+		}
+		out.Zero()
+	}
+	// ikj loop order keeps the inner loop contiguous in b and out.
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range bk {
+				oi[j] += aik * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB computes out = aᵀ·b where a is n×r and b is n×c (out is r×c).
+func MatMulATB(a, b, out *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulATB shape mismatch")
+	}
+	if out == nil {
+		out = NewMatrix(a.Cols, b.Cols)
+	} else {
+		out.Zero()
+	}
+	for n := 0; n < a.Rows; n++ {
+		an := a.Row(n)
+		bn := b.Row(n)
+		for i, av := range an {
+			if av == 0 {
+				continue
+			}
+			oi := out.Row(i)
+			for j, bv := range bn {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT computes out = a·bᵀ where a is r×k and b is c×k (out is r×c).
+func MatMulABT(a, b, out *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulABT shape mismatch")
+	}
+	if out == nil {
+		out = NewMatrix(a.Rows, b.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		oi := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			oi[j] = Dot(ai, b.Row(j))
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddBias adds the bias vector to every row of m in place.
+func AddBias(m *Matrix, bias []float64) {
+	if len(bias) != m.Cols {
+		panic("tensor: bias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, b := range bias {
+			ri[j] += b
+		}
+	}
+}
+
+// ColSums accumulates per-column sums of m into out (len m.Cols).
+func ColSums(m *Matrix, out []float64) {
+	if len(out) != m.Cols {
+		panic("tensor: colsums length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+}
+
+// RandUniform fills x with uniform values in [lo, hi).
+func RandUniform(rng *rand.Rand, x []float64, lo, hi float64) {
+	for i := range x {
+		x[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// RandNormal fills x with N(mean, std²) values.
+func RandNormal(rng *rand.Rand, x []float64, mean, std float64) {
+	for i := range x {
+		x[i] = mean + rng.NormFloat64()*std
+	}
+}
+
+// GlorotUniform fills a fanOut×fanIn weight slice with Glorot/Xavier uniform
+// initialization, the standard choice for the tanh/sigmoid/ReLU stacks here.
+func GlorotUniform(rng *rand.Rand, x []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	RandUniform(rng, x, -limit, limit)
+}
+
+// Concat concatenates vectors into a fresh slice ([a;b;...] in paper
+// notation).
+func Concat(vs ...[]float64) []float64 {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max_i |x[i]|, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

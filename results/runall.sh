@@ -1,0 +1,23 @@
+#!/bin/bash
+# Regenerates every experiment output in this directory at the committed
+# reduced scale. From the repository root: bash results/runall.sh
+set -ex
+cd "$(dirname "$0")/.."
+go build -o /tmp/cardbench ./cmd/cardbench
+CB=/tmp/cardbench
+cd results
+$CB -exp datasets,table13 -n 2000 > stats.txt 2>&1
+$CB -exp fig1 -n 2000 > fig1.txt 2>&1
+$CB -exp table3 -n 1000 > table3.txt 2>&1
+$CB -exp table7 -n 1000 > table7.txt 2>&1
+$CB -exp fig5 -n 800 > fig5.txt 2>&1
+$CB -exp fig6 -n 500 > fig6.txt 2>&1
+$CB -exp fig7 -n 800 -models "CardNet-A,TL-XGB,DL-RMI" > fig7.txt 2>&1
+$CB -exp fig8 -n 800 > fig8.txt 2>&1
+$CB -exp fig9 -n 800 -models "CardNet-A,DL-RMI,TL-XGB,DB-US" > fig9.txt 2>&1
+$CB -exp fig10 -n 800 -models "CardNet-A,DL-RMI,TL-XGB,DB-US" > fig10.txt 2>&1
+$CB -exp fig11 -n 500 > fig11.txt 2>&1
+$CB -exp fig13,fig14 -n 600 > fig13.txt 2>&1
+$CB -exp table14 -n 800 -models "CardNet-A,DB-US,TL-XGB" > table14.txt 2>&1
+$CB -exp mono -n 600 -models "CardNet,CardNet-A,TL-XGB,DL-DLN,DB-SE,DL-DNN" > mono.txt 2>&1
+echo ALL-DONE
