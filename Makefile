@@ -1,0 +1,27 @@
+# Tier-1 gate: `make ci` must stay green on every PR.
+
+GO ?= go
+
+.PHONY: ci lint vet build test bench-obs
+
+ci: lint vet build test
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
+bench-obs:
+	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
+		-calls 4000 -benchout results/BENCH_obs.json

@@ -26,6 +26,7 @@ func main() {
 	n := flag.Int("n", 0, "override dataset size")
 	seed := flag.Int64("seed", 7, "random seed")
 	models := flag.String("models", "", "comma-separated model subset for fig7/fig9/fig10/table14/mono")
+	obsDump := flag.Bool("obs", false, "append the obs metrics snapshot (train/estimate telemetry) after the experiments")
 	flag.Parse()
 
 	var modelList []string
@@ -58,6 +59,13 @@ func main() {
 	}
 	for _, id := range ids {
 		run(w, strings.TrimSpace(id), opts, modelList)
+	}
+	if *obsDump {
+		fmt.Fprintln(w, "== obs metrics snapshot ==")
+		if err := bench.WriteObsSnapshot(w); err != nil {
+			fmt.Fprintf(os.Stderr, "obs snapshot: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,12 +1,21 @@
 // Command cardnet trains a CardNet/CardNet-A estimator on a generated
-// workload, saves it to disk, and answers estimation queries — a minimal
-// operational loop around the library.
+// workload, saves it to disk, answers estimation queries, and serves
+// estimates over HTTP with full observability — a minimal operational loop
+// around the library.
 //
 // Usage:
 //
 //	cardnet -mode train -dataset HM-ImageNet -out model.gob
 //	cardnet -mode estimate -dataset HM-ImageNet -model model.gob -queries 20
 //	cardnet -mode update -dataset HM-ImageNet -model model.gob
+//	cardnet -mode serve -model model.gob -addr :8089
+//	cardnet -mode obsbench -dataset HM-ImageNet -benchout results/BENCH_obs.json
+//
+// Train and update write a per-epoch JSONL training log (default
+// <model>.train.jsonl; -trainlog off disables). Serve exposes POST/GET
+// /estimate, /metrics (obs registry snapshot), /healthz, and
+// /debug/pprof/*. Obsbench records estimate-path latency with
+// instrumentation on vs. off.
 package main
 
 import (
@@ -19,17 +28,22 @@ import (
 	"cardnet/internal/core"
 	"cardnet/internal/dataset"
 	"cardnet/internal/metrics"
+	"cardnet/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | obsbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
-	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update, output for train)")
+	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
 	accel := flag.Bool("accel", true, "use the accelerated CardNet-A encoder")
 	queries := flag.Int("queries", 10, "estimate: number of test queries to answer")
 	seed := flag.Int64("seed", 7, "random seed")
+	addr := flag.String("addr", ":8089", "serve: HTTP listen address")
+	trainLog := flag.String("trainlog", "", `train/update: JSONL epoch-event log path ("" = <model>.train.jsonl, "off" = disabled)`)
+	benchOut := flag.String("benchout", "results/BENCH_obs.json", "obsbench: output JSON path")
+	benchCalls := flag.Int("calls", 2000, "obsbench: measured estimate calls per configuration")
 	flag.Parse()
 
 	spec, ok := dataset.DefaultsByName()[*dsName]
@@ -39,28 +53,35 @@ func main() {
 	opts := bench.DefaultOptions()
 	opts.Seed = *seed
 	opts.NOverride = *n
-	suite := bench.BuildSuite(spec, opts)
-	b := suite.Bundle
+	// The serve path needs only the trained model, not a rebuilt workload.
+	buildBundle := func() *bench.Bundle { return bench.BuildSuite(spec, opts).Bundle }
 
 	switch *mode {
 	case "train":
+		b := buildBundle()
 		cfg := core.DefaultConfig(b.TauMax)
 		cfg.Accel = *accel
 		cfg.Seed = *seed
+		sink, closeSink := openTrainLog(*trainLog, *modelPath)
+		if sink != nil {
+			cfg.Hook = trainLogHook(sink, *dsName)
+		}
 		m := core.New(cfg, b.Train.X.Cols)
 		res := m.Train(b.Train, b.Valid)
 		log.Printf("trained %d epochs, best validation MSLE %.4f, model %d KB",
 			res.Epochs, res.BestValidMSLE, m.SizeBytes()/1024)
-		f, err := os.Create(*modelPath)
-		if err != nil {
-			log.Fatal(err)
+		if sink != nil {
+			if err := sink.EmitSnapshot("train.metrics", obs.Default); err != nil {
+				log.Fatalf("write training log: %v", err)
+			}
 		}
-		defer f.Close()
-		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+		closeSink()
+		if err := saveModel(m, *modelPath); err != nil {
+			log.Fatalf("save model: %v", err)
 		}
 		log.Printf("saved to %s", *modelPath)
 	case "estimate":
+		b := buildBundle()
 		m := load(*modelPath)
 		var actual, est []float64
 		shown := 0
@@ -77,6 +98,10 @@ func main() {
 		fmt.Println(metrics.Evaluate(actual, est))
 	case "update":
 		m := load(*modelPath)
+		sink, closeSink := openTrainLog(*trainLog, *modelPath)
+		if sink != nil {
+			m.Cfg.Hook = trainLogHook(sink, *dsName)
+		}
 		// Relabel against a perturbed dataset (fresh seed) and incrementally
 		// retrain, then report the validation error trajectory.
 		spec2 := spec
@@ -87,16 +112,100 @@ func main() {
 		res := m.IncrementalTrain(suite2.Bundle.Train, suite2.Bundle.Valid, 0)
 		log.Printf("incremental learning: %d epochs, validation MSLE %.4f (skipped=%v)",
 			res.Epochs, res.ValidMSLE, res.Skipped)
-		f, err := os.Create(*modelPath)
+		closeSink()
+		if err := saveModel(m, *modelPath); err != nil {
+			log.Fatalf("save model: %v", err)
+		}
+	case "serve":
+		m := load(*modelPath)
+		if err := runServe(m, *addr); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	case "obsbench":
+		b := buildBundle()
+		cfg := core.DefaultConfig(b.TauMax)
+		cfg.Accel = *accel
+		cfg.Seed = *seed
+		// Latency does not depend on trained weights, so an untrained model
+		// of the production architecture measures the same hot path.
+		m := core.New(cfg, b.Train.X.Cols)
+		rep, err := runObsBench(m, b.TestX, b.TauMax, *benchCalls)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("obsbench: %v", err)
 		}
-		defer f.Close()
-		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+		rep.Dataset = *dsName
+		rep.Records = *n
+		if err := rep.write(*benchOut); err != nil {
+			log.Fatalf("obsbench: %v", err)
 		}
+		log.Printf("obs on  : p50=%.1fµs p99=%.1fµs", rep.On.P50Micros, rep.On.P99Micros)
+		log.Printf("obs off : p50=%.1fµs p99=%.1fµs", rep.Off.P50Micros, rep.Off.P99Micros)
+		log.Printf("overhead: p50=%+.2f%% p99=%+.2f%% mean=%+.2f%% -> %s",
+			rep.OverheadP50Pct, rep.OverheadP99Pct, rep.OverheadMeanPct, *benchOut)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// saveModel writes the model and fails on the file Close error too: a short
+// write surfacing only at close must not silently truncate the saved model.
+func saveModel(m *core.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openTrainLog resolves the -trainlog flag into a JSONL sink. The returned
+// close func checks the file Close error (same short-write concern as the
+// model file).
+func openTrainLog(flagVal, modelPath string) (*obs.Sink, func()) {
+	path := flagVal
+	if path == "" {
+		path = modelPath + ".train.jsonl"
+	}
+	if path == "off" {
+		return nil, func() {}
+	}
+	sink, err := obs.NewFileSink(path)
+	if err != nil {
+		log.Fatalf("open training log: %v", err)
+	}
+	log.Printf("writing training log to %s", path)
+	return sink, func() {
+		if err := sink.Close(); err != nil {
+			log.Fatalf("close training log: %v", err)
+		}
+	}
+}
+
+// trainLogHook adapts a JSONL sink to the core.TrainHook contract: one
+// "epoch" event per line with the losses, ω weights, and timing.
+func trainLogHook(sink *obs.Sink, ds string) core.TrainHook {
+	return func(ev core.TrainEvent) {
+		fields := map[string]any{
+			"dataset":    ds,
+			"phase":      ev.Phase,
+			"epoch":      ev.Epoch,
+			"train_loss": ev.TrainLoss,
+			"lr":         ev.LR,
+			"epoch_ms":   float64(ev.EpochTime.Microseconds()) / 1e3,
+		}
+		if ev.HasValid {
+			fields["valid_msle"] = ev.ValidMSLE
+			fields["best_msle"] = ev.BestMSLE
+			fields["improved"] = ev.Improved
+			fields["early_stop"] = ev.EarlyStop
+			fields["omega"] = ev.Omega
+		}
+		if err := sink.Emit("epoch", fields); err != nil {
+			log.Fatalf("write training log: %v", err)
+		}
 	}
 }
 

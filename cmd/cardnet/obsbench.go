@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cardnet/internal/core"
+	"cardnet/internal/obs"
+	"cardnet/internal/tensor"
+)
+
+// latencyStats summarizes one measured configuration in microseconds.
+type latencyStats struct {
+	Calls     int     `json:"calls"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	MeanMicro float64 `json:"mean_us"`
+}
+
+// obsBenchReport is the results/BENCH_obs.json schema: estimate-path latency
+// with obs instrumentation enabled vs. disabled, proving the overhead budget
+// (< 5% on the hot path) is held.
+type obsBenchReport struct {
+	Dataset         string       `json:"dataset"`
+	Records         int          `json:"records"`
+	Queries         int          `json:"queries"`
+	TauMax          int          `json:"tau_max"`
+	Accel           bool         `json:"accel"`
+	On              latencyStats `json:"obs_on"`
+	Off             latencyStats `json:"obs_off"`
+	OverheadP50Pct  float64      `json:"overhead_p50_pct"`
+	OverheadP99Pct  float64      `json:"overhead_p99_pct"`
+	OverheadMeanPct float64      `json:"overhead_mean_pct"`
+}
+
+// runObsBench measures EstimateEncoded latency with instrumentation on and
+// off. Rounds alternate between the two configurations so frequency/thermal
+// drift averages out instead of biasing one side.
+func runObsBench(m *core.Model, testX *tensor.Matrix, tauMax, calls int) (*obsBenchReport, error) {
+	if testX == nil || testX.Rows == 0 {
+		return nil, fmt.Errorf("no test queries in bundle")
+	}
+	if calls < 100 {
+		calls = 100
+	}
+	run := func(count int, seq *int) []float64 {
+		durs := make([]float64, 0, count)
+		for i := 0; i < count; i++ {
+			q := testX.Row(*seq % testX.Rows)
+			tau := *seq % (tauMax + 1)
+			*seq++
+			t0 := time.Now()
+			m.EstimateEncoded(q, tau)
+			durs = append(durs, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+		return durs
+	}
+
+	defer obs.SetEnabled(true)
+	var seq int
+	run(calls/4, &seq) // warmup, discarded
+
+	const rounds = 8
+	chunk := calls / rounds
+	var on, off []float64
+	for r := 0; r < rounds; r++ {
+		obs.SetEnabled(true)
+		on = append(on, run(chunk, &seq)...)
+		obs.SetEnabled(false)
+		off = append(off, run(chunk, &seq)...)
+	}
+	obs.SetEnabled(true)
+
+	rep := &obsBenchReport{
+		Queries: testX.Rows,
+		TauMax:  tauMax,
+		Accel:   m.Cfg.Accel,
+		On:      summarize(on),
+		Off:     summarize(off),
+	}
+	rep.OverheadP50Pct = overheadPct(rep.On.P50Micros, rep.Off.P50Micros)
+	rep.OverheadP99Pct = overheadPct(rep.On.P99Micros, rep.Off.P99Micros)
+	rep.OverheadMeanPct = overheadPct(rep.On.MeanMicro, rep.Off.MeanMicro)
+	return rep, nil
+}
+
+func summarize(durs []float64) latencyStats {
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, d := range sorted {
+		sum += d
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return latencyStats{
+		Calls:     len(sorted),
+		P50Micros: pick(0.50),
+		P99Micros: pick(0.99),
+		MeanMicro: sum / float64(len(sorted)),
+	}
+}
+
+func overheadPct(on, off float64) float64 {
+	if off == 0 {
+		return 0
+	}
+	return (on - off) / off * 100
+}
+
+func (r *obsBenchReport) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"cardnet/internal/core"
+	"cardnet/internal/obs"
+)
+
+// httpErrors counts non-2xx responses across all endpoints.
+var httpErrors = obs.Default.Counter("http.errors")
+
+// runServe blocks serving the estimation API on addr.
+func runServe(m *core.Model, addr string) error {
+	log.Printf("serving CardNet (in_dim=%d tau_max=%d, %d KB) on %s", m.InDim, m.Cfg.TauMax, m.SizeBytes()/1024, addr)
+	log.Printf("endpoints: POST/GET /estimate, /metrics, /healthz, /debug/pprof/")
+	return http.ListenAndServe(addr, newServeMux(m))
+}
+
+// newServeMux builds the serving handler tree (separated from runServe for
+// httptest coverage).
+func newServeMux(m *core.Model) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(m)))
+	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(m)))
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// instrument wraps a handler in an obs span: "<name>.seconds" latency
+// histogram plus "<name>.calls" counter on the default registry.
+func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.Default.StartSpan(name)
+		h(w, r)
+		sp.End()
+	}
+}
+
+// estimateRequest is the POST /estimate body. GET requests pass the same
+// values as ?x=1,0,1,…&tau=3 (or &all=true).
+type estimateRequest struct {
+	X   []float64 `json:"x"`             // encoded binary feature vector, length = model InDim
+	Tau *int      `json:"tau,omitempty"` // transformed threshold; required unless All
+	All bool      `json:"all,omitempty"` // return estimates for every τ in [0, TauMax]
+}
+
+type estimateResponse struct {
+	Estimate  *float64  `json:"estimate,omitempty"`
+	Estimates []float64 `json:"estimates,omitempty"`
+	Tau       int       `json:"tau"`
+	TauMax    int       `json:"tau_max"`
+}
+
+func handleEstimate(m *core.Model) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := parseEstimateRequest(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.X) != m.InDim {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("x has %d features, model expects %d", len(req.X), m.InDim))
+			return
+		}
+		resp := estimateResponse{TauMax: m.Cfg.TauMax}
+		switch {
+		case req.All:
+			resp.Estimates = m.EstimateAllTaus(req.X)
+			resp.Tau = m.Cfg.TauMax
+		case req.Tau == nil:
+			httpError(w, http.StatusBadRequest, `"tau" is required unless "all" is set`)
+			return
+		default:
+			v := m.EstimateEncoded(req.X, *req.Tau)
+			resp.Estimate = &v
+			resp.Tau = *req.Tau
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func parseEstimateRequest(r *http.Request) (*estimateRequest, error) {
+	var req estimateRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad JSON body: %v", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		for _, s := range strings.Split(q.Get("x"), ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad x component %q", s)
+			}
+			req.X = append(req.X, v)
+		}
+		if ts := q.Get("tau"); ts != "" {
+			tau, err := strconv.Atoi(ts)
+			if err != nil {
+				return nil, fmt.Errorf("bad tau %q", ts)
+			}
+			req.Tau = &tau
+		}
+		req.All = q.Get("all") == "true" || q.Get("all") == "1"
+	default:
+		return nil, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	return &req, nil
+}
+
+func handleHealthz(m *core.Model) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":      "ok",
+			"in_dim":      m.InDim,
+			"tau_max":     m.Cfg.TauMax,
+			"tau_top":     m.TauTop,
+			"accel":       m.Cfg.Accel,
+			"model_bytes": m.SizeBytes(),
+		})
+	}
+}
+
+// handleMetrics dumps the obs default registry as expvar-style JSON.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.Default.WriteJSON(w); err != nil {
+		httpErrors.Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		httpErrors.Inc()
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	httpErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"cardnet/internal/core"
+	"cardnet/internal/obs"
+	"cardnet/internal/tensor"
+)
+
+// tinyModel returns a small untrained model (serving latency and plumbing do
+// not depend on trained weights).
+func tinyModel() *core.Model {
+	cfg := core.DefaultConfig(8)
+	cfg.VAEHidden = []int{16}
+	cfg.VAELatent = 4
+	cfg.PhiHidden = []int{16}
+	cfg.ZDim = 8
+	cfg.Accel = true
+	cfg.Seed = 3
+	return core.New(cfg, 16)
+}
+
+func postEstimate(t *testing.T, ts *httptest.Server, body string) (*http.Response, estimateResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er estimateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, er
+}
+
+func TestServeEstimateAndMetrics(t *testing.T) {
+	m := tinyModel()
+	ts := httptest.NewServer(newServeMux(m))
+	defer ts.Close()
+
+	x := make([]string, m.InDim)
+	for i := range x {
+		x[i] = fmt.Sprint(i % 2)
+	}
+	xJSON := "[" + strings.Join(x, ",") + "]"
+
+	// POST with a single tau.
+	resp, er := postEstimate(t, ts, `{"x":`+xJSON+`,"tau":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if er.Estimate == nil || *er.Estimate < 0 || er.Tau != 3 {
+		t.Fatalf("estimate response: %+v", er)
+	}
+	want := m.EstimateEncoded(parseFloats(t, x), 3)
+	if *er.Estimate != want {
+		t.Fatalf("HTTP estimate %v != direct %v", *er.Estimate, want)
+	}
+
+	// POST all-taus: monotone non-decreasing by Lemma 2.
+	resp, er = postEstimate(t, ts, `{"x":`+xJSON+`,"all":true}`)
+	if resp.StatusCode != http.StatusOK || len(er.Estimates) != m.Cfg.TauMax+1 {
+		t.Fatalf("all-taus: status=%d resp=%+v", resp.StatusCode, er)
+	}
+	for i := 1; i < len(er.Estimates); i++ {
+		if er.Estimates[i] < er.Estimates[i-1]-1e-9 {
+			t.Fatalf("served estimates not monotone: %v", er.Estimates)
+		}
+	}
+
+	// GET with query params matches POST.
+	getResp, err := http.Get(ts.URL + "/estimate?x=" + strings.Join(x, ",") + "&tau=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var getER estimateResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&getER); err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getER.Estimate == nil || *getER.Estimate != want {
+		t.Fatalf("GET estimate: %+v", getER)
+	}
+
+	// Validation errors: wrong dimension, missing tau, bad JSON.
+	for _, bad := range []string{`{"x":[1,0],"tau":1}`, `{"x":` + xJSON + `}`, `{not json`} {
+		if resp, _ := postEstimate(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status=%d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// /metrics reports the traffic just served: non-zero estimate-latency
+	// histogram counts, τ-distribution observations, and span metrics.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var snap struct {
+		Counters   map[string]uint64           `json:"counters"`
+		Histograms map[string]obs.HistSnapshot `json:"histograms"`
+	}
+	if err := json.NewDecoder(mResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["core.estimate.calls"] == 0 {
+		t.Fatal("metrics: no estimate calls recorded")
+	}
+	if snap.Histograms["core.estimate.seconds"].Count == 0 {
+		t.Fatal("metrics: empty estimate latency histogram")
+	}
+	if snap.Histograms["core.estimate.tau"].Count == 0 {
+		t.Fatal("metrics: empty tau distribution")
+	}
+	if snap.Histograms["http.estimate.seconds"].Count == 0 || snap.Counters["http.estimate.calls"] == 0 {
+		t.Fatal("metrics: HTTP span not recorded")
+	}
+	if snap.Counters["http.errors"] < 3 {
+		t.Fatalf("metrics: error counter=%d, want ≥3", snap.Counters["http.errors"])
+	}
+}
+
+func TestServeHealthzAndPprof(t *testing.T) {
+	m := tinyModel()
+	ts := httptest.NewServer(newServeMux(m))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" || int(hz["in_dim"].(float64)) != m.InDim {
+		t.Fatalf("healthz: %+v", hz)
+	}
+
+	pp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status=%d", pp.StatusCode)
+	}
+}
+
+func TestObsBenchReport(t *testing.T) {
+	m := tinyModel()
+	x := make([]float64, m.InDim*4)
+	for i := range x {
+		x[i] = float64(i % 2)
+	}
+	testX := matrixFromData(m.InDim, x)
+	rep, err := runObsBench(m, testX, m.Cfg.TauMax, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.On.Calls == 0 || rep.Off.Calls == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.On.P50Micros <= 0 || rep.Off.P50Micros <= 0 {
+		t.Fatalf("non-positive latencies: %+v", rep)
+	}
+	if !obs.Enabled() {
+		t.Fatal("obsbench left instrumentation disabled")
+	}
+	path := t.TempDir() + "/BENCH_obs.json"
+	if err := rep.write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obsBenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.On.Calls != rep.On.Calls {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func parseFloats(t *testing.T, ss []string) []float64 {
+	t.Helper()
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		fmt.Sscan(s, &out[i])
+	}
+	return out
+}
+
+func matrixFromData(cols int, data []float64) *tensor.Matrix {
+	return &tensor.Matrix{Rows: len(data) / cols, Cols: cols, Data: data}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -344,5 +345,39 @@ func TestBiLSTMHandlePresentOnlyForEditDistance(t *testing.T) {
 	hm := BuildSuite(tinySpec("HM-ImageNet"), tinyOpts())
 	if hm.Handle("DL-BiLSTM") != nil {
 		t.Fatal("non-string suites must not include DL-BiLSTM")
+	}
+}
+
+func TestObsSnapshotAfterFit(t *testing.T) {
+	s := BuildSuite(tinySpec("HM-ImageNet"), tinyOpts())
+	fits0 := fitCount.Value()
+	evals0 := evalPoints.Value()
+	h := s.Handle(NameCardNetA)
+	for _, p := range s.Bundle.Points[:3] {
+		h.Estimate(p)
+	}
+	if fitCount.Value() != fits0+1 {
+		t.Fatalf("fit counter moved by %d, want 1", fitCount.Value()-fits0)
+	}
+	if evalPoints.Value() != evals0+3 {
+		t.Fatalf("eval counter moved by %d, want 3", evalPoints.Value()-evals0)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteObsSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.Counters["core.train.epochs"] == 0 {
+		t.Fatal("snapshot missing training epochs")
+	}
+	if snap.Gauges["bench.fit_seconds."+NameCardNetA] <= 0 {
+		t.Fatal("snapshot missing per-model fit gauge")
 	}
 }

@@ -7,12 +7,24 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/dataset"
+	"cardnet/internal/obs"
 	"cardnet/internal/tensor"
+)
+
+// Harness-level metrics on the shared obs registry: per-model fit wall time
+// (histogram + per-model gauge) and evaluated test points. Together with
+// internal/core's estimate-path metrics they make every experiment run
+// reportable through one snapshot.
+var (
+	fitTime    = obs.Default.Histogram("bench.fit_seconds", obs.TimeBuckets())
+	fitCount   = obs.Default.Counter("bench.fits")
+	evalPoints = obs.Default.Counter("bench.eval_points")
 )
 
 // Options scales a workload build. The zero value plus Quick=true gives the
@@ -135,16 +147,27 @@ func (h *Handle) Fit() {
 	}
 	h.TrainTime = time.Since(start)
 	h.fitted = true
+	fitCount.Inc()
+	fitTime.ObserveDuration(h.TrainTime)
+	obs.Default.Gauge("bench.fit_seconds." + h.Name).Set(h.TrainTime.Seconds())
 }
 
 // Estimate evaluates the model at a test point (Fit first if needed).
 func (h *Handle) Estimate(tp TestPoint) float64 {
 	h.Fit()
+	evalPoints.Inc()
 	v := h.estimate(tp)
 	if v < 0 {
 		return 0
 	}
 	return v
+}
+
+// WriteObsSnapshot dumps the shared obs registry (training, estimation, and
+// harness metrics accumulated so far) as indented JSON — experiment results
+// carry their telemetry alongside the rendered tables.
+func WriteObsSnapshot(w io.Writer) error {
+	return obs.Default.WriteJSON(w)
 }
 
 // SizeBytes reports the model size after fitting.

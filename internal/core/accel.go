@@ -4,8 +4,14 @@ import (
 	"math/rand"
 
 	"cardnet/internal/nn"
+	"cardnet/internal/obs"
 	"cardnet/internal/tensor"
 )
+
+// accelForwards counts fused Φ′ passes; compared against
+// core.estimate.calls it shows the batch amplification the accelerated
+// encoder saves over the τ+1-pass standard encoder.
+var accelForwards = obs.Default.Counter("core.accel.forwards")
 
 // accelEncoder is the fused network Φ′ of Section 7 (CardNet-A). It is an
 // FNN of n hidden layers f_1..f_n where hidden layer f_j, in addition to
@@ -57,6 +63,7 @@ func (a *accelEncoder) Params() []*nn.Param {
 // e·tauCount + i holding example e's embedding of distance i — the same
 // layout the standard encoder produces, so the decoders are shared.
 func (a *accelEncoder) Forward(xp *tensor.Matrix, train bool) *tensor.Matrix {
+	accelForwards.Inc()
 	b := xp.Rows
 	z := tensor.NewMatrix(b*a.tauCount, a.zDim)
 	h := xp

@@ -6,10 +6,36 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"cardnet/internal/nn"
+	"cardnet/internal/obs"
 	"cardnet/internal/tensor"
 )
+
+// Estimation- and training-path metrics, registered on obs.Default so the
+// bench harness and `cardnet serve` /metrics expose them without extra
+// plumbing.
+var (
+	estLatency    = obs.Default.Histogram("core.estimate.seconds", obs.TimeBuckets())
+	estAllLatency = obs.Default.Histogram("core.estimate_all.seconds", obs.TimeBuckets())
+	estTauDist    = obs.Default.Histogram("core.estimate.tau", obs.LinearBuckets(0, 1, 32))
+	estCalls      = obs.Default.Counter("core.estimate.calls")
+	estAllCalls   = obs.Default.Counter("core.estimate_all.calls")
+	monoChecks    = obs.Default.Counter("core.estimate.mono.checks")
+	monoViolate   = obs.Default.Counter("core.estimate.mono.violations")
+	estSeq        atomic.Uint64
+
+	trainEpochTime = obs.Default.Histogram("core.train.epoch_seconds", obs.TimeBuckets())
+	trainEpochs    = obs.Default.Counter("core.train.epochs")
+	trainValidMSLE = obs.Default.Gauge("core.train.valid_msle")
+)
+
+// monoSampleEvery sets the monotonicity spot-check rate on the estimate
+// path: one in every monoSampleEvery instrumented calls re-validates the
+// Lemma 2 invariant on the decoder outputs.
+const monoSampleEvery = 64
 
 // Model is a trained (or trainable) CardNet / CardNet-A regressor over
 // binary feature vectors of a fixed dimensionality.
@@ -211,18 +237,51 @@ func (m *Model) EstimateEncoded(x []float64, tau int) float64 {
 	if tau > m.Cfg.TauMax {
 		tau = m.Cfg.TauMax
 	}
+	traced := obs.Enabled()
+	var tm obs.Timer
+	if traced {
+		tm = obs.StartTimer(estLatency)
+	}
 	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
 	f := m.forward(xm, false, nil)
 	var sum float64
 	for i := 0; i <= tau; i++ {
 		sum += f.c.At(0, i)
 	}
+	if traced {
+		tm.Stop()
+		estCalls.Inc()
+		estTauDist.Observe(float64(tau))
+		if estSeq.Add(1)%monoSampleEvery == 0 {
+			spotCheckMonotone(f.c.Row(0))
+		}
+	}
 	return sum
+}
+
+// spotCheckMonotone re-validates the invariant behind Lemma 2 on one set of
+// per-distance decoder outputs: every ĉᵢ must be finite and non-negative,
+// otherwise the prefix-sum estimate could decrease in τ. A violation means
+// numerical corruption (NaN/Inf weights), not a modeling choice, so it is
+// counted as an operational alert signal.
+func spotCheckMonotone(ci []float64) {
+	monoChecks.Inc()
+	for _, v := range ci {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			monoViolate.Inc()
+			return
+		}
+	}
 }
 
 // EstimateAllTaus returns the estimate at every τ in [0, TauMax] for one
 // encoded query with a single forward pass (the prefix sums of ĉᵢ).
 func (m *Model) EstimateAllTaus(x []float64) []float64 {
+	traced := obs.Enabled()
+	var tm obs.Timer
+	if traced {
+		tm = obs.StartTimer(estAllLatency)
+	}
 	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
 	f := m.forward(xm, false, nil)
 	out := make([]float64, m.tauCount())
@@ -230,6 +289,13 @@ func (m *Model) EstimateAllTaus(x []float64) []float64 {
 	for i := range out {
 		sum += f.c.At(0, i)
 		out[i] = sum
+	}
+	if traced {
+		tm.Stop()
+		estAllCalls.Inc()
+		if estSeq.Add(1)%monoSampleEvery == 0 {
+			spotCheckMonotone(f.c.Row(0))
+		}
 	}
 	return out
 }
@@ -284,6 +350,7 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var epochLoss float64
 		var batches int
@@ -308,7 +375,10 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 		}
 		res.Epochs = epoch + 1
 
+		ev := TrainEvent{Phase: "train", Epoch: epoch + 1,
+			TrainLoss: res.FinalTrainLoss, LR: cfg.LR}
 		if valid == nil {
+			emitEpoch(cfg, ev, epochStart)
 			continue
 		}
 		vl, perDist := m.validate(valid, top)
@@ -339,11 +409,18 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 			res.BestValidMSLE = vl
 			best = nn.TakeSnapshot(params)
 			badStreak = 0
+			ev.Improved = true
 		} else {
 			badStreak++
-			if cfg.Patience > 0 && badStreak >= cfg.Patience {
-				break
-			}
+			ev.EarlyStop = cfg.Patience > 0 && badStreak >= cfg.Patience
+		}
+		ev.HasValid = true
+		ev.ValidMSLE = vl
+		ev.BestMSLE = res.BestValidMSLE
+		ev.Omega = append([]float64(nil), omega[:top+1]...)
+		emitEpoch(cfg, ev, epochStart)
+		if ev.EarlyStop {
+			break
 		}
 	}
 	if best != nil {
@@ -352,6 +429,23 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 		}
 	}
 	return res
+}
+
+// emitEpoch finishes a TrainEvent (wall time), records the shared obs
+// metrics, and delivers the event to the config's hook. It is telemetry
+// only: nothing here feeds back into training state.
+func emitEpoch(cfg Config, ev TrainEvent, start time.Time) {
+	ev.EpochTime = time.Since(start)
+	if obs.Enabled() {
+		trainEpochs.Inc()
+		trainEpochTime.ObserveDuration(ev.EpochTime)
+		if ev.HasValid {
+			trainValidMSLE.Set(ev.ValidMSLE)
+		}
+	}
+	if cfg.Hook != nil {
+		cfg.Hook(ev)
+	}
 }
 
 // trainBatch runs one optimizer step on a batch and returns its loss. The
@@ -487,7 +581,10 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 	stable := 0
 	last := cur
 	for epoch := 0; epoch < 4*cfg.Epochs && stable < 3; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		var batches int
 		for start := 0; start < len(perm); start += cfg.Batch {
 			end := start + cfg.Batch
 			if end > len(perm) {
@@ -500,7 +597,8 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 				copy(xb.Row(i), train.X.Row(r))
 				copy(lb.Row(i), train.Labels.Row(r))
 			}
-			m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+			epochLoss += m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+			batches++
 		}
 		res.Epochs = epoch + 1
 		vl, _ := m.validate(valid, top)
@@ -511,6 +609,15 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 		}
 		last = vl
 		res.ValidMSLE = vl
+
+		ev := TrainEvent{Phase: "incremental", Epoch: epoch + 1, LR: cfg.LR,
+			HasValid: true, ValidMSLE: vl, BestMSLE: vl,
+			Omega:     append([]float64(nil), omega[:top+1]...),
+			EarlyStop: stable >= 3}
+		if batches > 0 {
+			ev.TrainLoss = epochLoss / float64(batches)
+		}
+		emitEpoch(cfg, ev, epochStart)
 	}
 	return res
 }

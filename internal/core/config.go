@@ -17,6 +17,32 @@
 // handled by incremental learning from the current weights (Section 8).
 package core
 
+import "time"
+
+// TrainEvent describes one completed training epoch. Events are delivered
+// synchronously from the training loop; hooks must not mutate the slices
+// they receive (they are copies, but shared with no one else only until the
+// hook returns if the hook retains them — copy again to retain).
+type TrainEvent struct {
+	Phase     string        // "train" or "incremental"
+	Epoch     int           // 1-based epoch number within the phase
+	TrainLoss float64       // mean batch loss of the epoch (0 for incremental)
+	HasValid  bool          // validation ran this epoch
+	ValidMSLE float64       // validation MSLE (when HasValid)
+	BestMSLE  float64       // best validation MSLE so far (when HasValid)
+	Omega     []float64     // per-distance ω weights entering the next epoch
+	LR        float64       // optimizer learning rate
+	EpochTime time.Duration // wall time of the epoch, including validation
+	Improved  bool          // this epoch set a new best validation MSLE
+	EarlyStop bool          // the patience budget ran out after this epoch
+}
+
+// TrainHook receives per-epoch TrainEvents from Train and IncrementalTrain.
+// It is a func type so a Config carrying one still gob-serializes (gob
+// ignores func fields, like unexported ones); Save/Load round-trips drop the
+// hook.
+type TrainHook func(TrainEvent)
+
 // Config collects the model and training hyperparameters. Defaults are
 // scaled down from Section 9.1.3 so CPU training finishes in seconds; the
 // architecture is identical.
@@ -46,6 +72,10 @@ type Config struct {
 	Accel bool
 
 	Seed int64
+
+	// Hook, when set, observes every training epoch (telemetry only — it
+	// cannot alter the run). Not serialized by Save.
+	Hook TrainHook
 }
 
 // DefaultConfig returns the scaled-down default hyperparameters for a model

@@ -11,6 +11,7 @@ import (
 	"cardnet/internal/dist"
 	"cardnet/internal/feature"
 	"cardnet/internal/nn"
+	"cardnet/internal/obs"
 	"cardnet/internal/simselect"
 	"cardnet/internal/tensor"
 )
@@ -516,5 +517,156 @@ func TestInferenceMultiplier(t *testing.T) {
 	}
 	if acc.InferenceMultiplier() != 1 {
 		t.Fatalf("accel multiplier=%d", acc.InferenceMultiplier())
+	}
+}
+
+// TestTrainDeterministicWithHook is the obs regression guard: two models
+// built from the same seed must train bit-identically — including when one
+// of them carries a TrainHook and live obs instrumentation — so telemetry
+// can be trusted not to perturb results. Serialized bytes are compared,
+// which covers every parameter bit, and the hook's view of validation MSLE
+// must match the returned result.
+func TestTrainDeterministicWithHook(t *testing.T) {
+	train, valid, _, _ := hammingFixture(t, 200)
+	for _, accel := range []bool{false, true} {
+		cfg := tinyConfig(12, accel)
+		cfg.Epochs = 6
+		cfg.Seed = 42
+
+		var events []TrainEvent
+		cfgHooked := cfg
+		cfgHooked.Hook = func(ev TrainEvent) { events = append(events, ev) }
+
+		a := New(cfgHooked, train.X.Cols)
+		b := New(cfg, train.X.Cols)
+		resA := a.Train(train, valid)
+		resB := b.Train(train, valid)
+
+		if a.SizeBytes() != b.SizeBytes() {
+			t.Fatalf("accel=%v: SizeBytes %d vs %d", accel, a.SizeBytes(), b.SizeBytes())
+		}
+		if resA.BestValidMSLE != resB.BestValidMSLE {
+			t.Fatalf("accel=%v: valid MSLE %v vs %v", accel, resA.BestValidMSLE, resB.BestValidMSLE)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := a.Save(&bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Save(&bufB); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("accel=%v: hooked and hookless training diverged (serialized bytes differ)", accel)
+		}
+
+		if len(events) != resA.Epochs {
+			t.Fatalf("accel=%v: %d events for %d epochs", accel, len(events), resA.Epochs)
+		}
+		lastEv := events[len(events)-1]
+		if !lastEv.HasValid || lastEv.BestMSLE != resA.BestValidMSLE {
+			t.Fatalf("accel=%v: last event %+v does not match result %+v", accel, lastEv, resA)
+		}
+		for i, ev := range events {
+			if ev.Phase != "train" || ev.Epoch != i+1 {
+				t.Fatalf("event %d: %+v", i, ev)
+			}
+			if len(ev.Omega) != train.TauTop+1 {
+				t.Fatalf("event %d: omega len=%d", i, len(ev.Omega))
+			}
+			if ev.EpochTime <= 0 {
+				t.Fatalf("event %d: non-positive epoch time", i)
+			}
+		}
+	}
+}
+
+// TestIncrementalTrainEmitsEvents checks the hook contract of the
+// Section 8 update path.
+func TestIncrementalTrainEmitsEvents(t *testing.T) {
+	train, valid, _, _ := hammingFixture(t, 150)
+	cfg := tinyConfig(12, false)
+	cfg.Epochs = 4
+	m := New(cfg, train.X.Cols)
+	m.Train(train, valid)
+
+	shift := func(ts *TrainSet) *TrainSet {
+		out := ts.Subset(seqInts(ts.NumQueries()))
+		for i := range out.Labels.Data {
+			out.Labels.Data[i] = out.Labels.Data[i]*3 + 10
+		}
+		return out
+	}
+	var events []TrainEvent
+	m.Cfg.Hook = func(ev TrainEvent) { events = append(events, ev) }
+	res := m.IncrementalTrain(shift(train), shift(valid), 1e-9)
+	if res.Skipped {
+		t.Fatalf("shifted labels should retrain: %+v", res)
+	}
+	if len(events) != res.Epochs {
+		t.Fatalf("%d events for %d epochs", len(events), res.Epochs)
+	}
+	for i, ev := range events {
+		if ev.Phase != "incremental" || ev.Epoch != i+1 || !ev.HasValid {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	if last := events[len(events)-1]; last.ValidMSLE != res.ValidMSLE {
+		t.Fatalf("last event MSLE %v != result %v", last.ValidMSLE, res.ValidMSLE)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestEstimateRecordsObsMetrics verifies the estimate-path instrumentation:
+// latency histogram counts, τ-distribution observations, and the sampled
+// monotonicity spot-check all advance on obs.Default.
+func TestEstimateRecordsObsMetrics(t *testing.T) {
+	train, _, _, recs := hammingFixture(t, 100)
+	cfg := tinyConfig(12, true)
+	m := New(cfg, train.X.Cols)
+
+	lat0 := estLatency.Count()
+	calls0 := estCalls.Value()
+	tau0 := estTauDist.Count()
+	checks0 := monoChecks.Value()
+	viol0 := monoViolate.Value()
+
+	const n = 2 * monoSampleEvery
+	for i := 0; i < n; i++ {
+		m.EstimateEncoded(recs[i%len(recs)].Floats(), i%13)
+	}
+	if got := estCalls.Value() - calls0; got != n {
+		t.Fatalf("estimate calls recorded=%d", got)
+	}
+	if got := estLatency.Count() - lat0; got != n {
+		t.Fatalf("latency observations=%d", got)
+	}
+	if got := estTauDist.Count() - tau0; got != n {
+		t.Fatalf("tau observations=%d", got)
+	}
+	if monoChecks.Value() == checks0 {
+		t.Fatal("monotonicity spot-check never sampled")
+	}
+	if monoViolate.Value() != viol0 {
+		t.Fatal("healthy model reported monotonicity violations")
+	}
+
+	// Disabled instrumentation must record nothing and not change results.
+	want := m.EstimateEncoded(recs[0].Floats(), 5)
+	obs.SetEnabled(false)
+	got := m.EstimateEncoded(recs[0].Floats(), 5)
+	callsOff := estCalls.Value()
+	obs.SetEnabled(true)
+	if got != want {
+		t.Fatalf("estimate changed with obs off: %v vs %v", got, want)
+	}
+	if m.EstimateEncoded(recs[0].Floats(), 5); estCalls.Value() != callsOff+1 {
+		t.Fatal("counter did not pause while disabled")
 	}
 }

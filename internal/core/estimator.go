@@ -1,6 +1,14 @@
 package core
 
-import "cardnet/internal/feature"
+import (
+	"cardnet/internal/feature"
+	"cardnet/internal/obs"
+)
+
+// encodeLatency times the feature-extraction half of the composed estimate
+// ĉ = g∘h, so serving dashboards can split end-to-end latency between h
+// (encode) and g (core.estimate.seconds).
+var encodeLatency = obs.Default.Histogram("core.encode.seconds", obs.TimeBuckets())
 
 // Estimator binds a trained Model to a feature extractor, yielding the
 // end-to-end ĉ = g∘h(x, θ) of Section 3.1 for records of type R. Because
@@ -18,7 +26,17 @@ func NewEstimator[R any](ext feature.Extractor[R], m *Model) *Estimator[R] {
 
 // Estimate returns the estimated cardinality of the selection (q, θ).
 func (e *Estimator[R]) Estimate(q R, theta float64) float64 {
-	return e.Model.EstimateEncoded(e.Ext.Encode(q), e.Ext.Threshold(theta))
+	traced := obs.Enabled()
+	var tm obs.Timer
+	if traced {
+		tm = obs.StartTimer(encodeLatency)
+	}
+	x := e.Ext.Encode(q)
+	tau := e.Ext.Threshold(theta)
+	if traced {
+		tm.Stop()
+	}
+	return e.Model.EstimateEncoded(x, tau)
 }
 
 // Count adapts Estimate to the simselect.Counter interface (rounding to the

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed buckets defined by ascending
+// upper bounds, with an implicit +Inf overflow bucket. Sum and count are
+// tracked exactly; quantiles are estimated by linear interpolation inside
+// the bucket containing the target rank, so their resolution is the bucket
+// width.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given upper bounds (sorted copies
+// are taken; an empty slice yields a single +Inf bucket, i.e. count/sum/mean
+// only).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return bitsFloat(h.sum.Load()) }
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations ≤ UpperBound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistSnapshot is a point-in-time histogram summary.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may land between
+// the per-bucket loads; totals are recomputed from the buckets so the
+// snapshot is internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	raw := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		raw[i] = h.counts[i].Load()
+		total += raw[i]
+	}
+	s := HistSnapshot{Count: total, Sum: h.Sum()}
+	if total > 0 {
+		s.Mean = s.Sum / float64(total)
+	}
+	s.Buckets = make([]Bucket, len(h.bounds))
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += raw[i]
+		s.Buckets[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	s.P50 = h.quantile(raw, total, 0.50)
+	s.P95 = h.quantile(raw, total, 0.95)
+	s.P99 = h.quantile(raw, total, 0.99)
+	return s
+}
+
+// quantile interpolates quantile q from per-bucket counts. Values in the
+// overflow bucket are attributed to the largest finite bound (a lower
+// bound on the true quantile).
+func (h *Histogram) quantile(raw []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range raw {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.maxBound()
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += float64(c)
+	}
+	return h.maxBound()
+}
+
+func (h *Histogram) maxBound() float64 {
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LinearBuckets returns n upper bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets are the default latency bounds in seconds: 1µs … ~8.6s in
+// ×2 steps, matching the spread between a single fused-encoder estimate and
+// a full training epoch.
+func TimeBuckets() []float64 { return ExpBuckets(1e-6, 2, 24) }
+
+// Timer measures one interval into a histogram (in seconds).
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing into h.
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time and returns it.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}
+
+// Span is a named timer bound to a registry: it records into the histogram
+// "<name>.seconds" and counts completions in "<name>.calls".
+type Span struct {
+	name  string
+	r     *Registry
+	start time.Time
+}
+
+// StartSpan opens a span on the registry.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{name: name, r: r, start: time.Now()}
+}
+
+// End closes the span, recording duration and call count.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.r.Histogram(s.name+".seconds", TimeBuckets()).ObserveDuration(d)
+	s.r.Counter(s.name + ".calls").Inc()
+	return d
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

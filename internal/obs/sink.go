@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sink writes structured events as JSON Lines: one object per line with a
+// timestamp, an event name, and the caller's fields. Writes are serialized,
+// so one Sink can be shared by concurrent emitters (training hooks, HTTP
+// handlers).
+type Sink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	now    func() time.Time
+}
+
+// NewSink wraps a writer. The caller keeps ownership of w.
+func NewSink(w io.Writer) *Sink { return &Sink{w: w, now: time.Now} }
+
+// NewFileSink creates (truncating) a JSONL file sink; Close flushes and
+// closes the file.
+func NewFileSink(path string) (*Sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Sink{w: f, closer: f, now: time.Now}, nil
+}
+
+// Emit writes one event line. Field values must be JSON-marshalable; the
+// reserved keys "ts" and "event" are set by the sink.
+func (s *Sink) Emit(event string, fields map[string]any) error {
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec["ts"] = s.now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: marshal event %q: %w", event, err)
+	}
+	line = append(line, '\n')
+	_, err = s.w.Write(line)
+	return err
+}
+
+// EmitSnapshot writes the registry's full metric snapshot as one event.
+func (s *Sink) EmitSnapshot(event string, r *Registry) error {
+	return s.Emit(event, map[string]any{"metrics": r.Snapshot()})
+}
+
+// Close closes the underlying file if the sink owns one.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closer == nil {
+		return nil
+	}
+	err := s.closer.Close()
+	s.closer = nil
+	return err
+}
