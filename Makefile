@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test bench-obs
+.PHONY: ci lint vet build test race-serving bench-obs bench-serving
 
-ci: lint vet build test
+ci: lint vet build test race-serving
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -21,7 +21,18 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Stress the serving engine's concurrency surface under the race detector
+# beyond the plain `test` pass: repeated runs shuffle goroutine schedules.
+race-serving:
+	$(GO) test -race -count=3 ./internal/serving ./internal/core -run 'Concurrent|Swap|Saturation|Batcher|Cache'
+
 # Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
 		-calls 4000 -benchout results/BENCH_obs.json
+
+# Regenerate the serving-throughput baseline (results/BENCH_serving.json):
+# batched vs per-request forward passes and the estimate cache.
+bench-serving:
+	$(GO) run ./cmd/cardnet -mode servebench -dataset HM-ImageNet -n 1200 \
+		-calls 4000 -benchout results/BENCH_serving.json

@@ -1,34 +1,81 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
+	"cardnet/internal/serving"
 )
 
 // httpErrors counts non-2xx responses across all endpoints.
 var httpErrors = obs.Default.Counter("http.errors")
 
-// runServe blocks serving the estimation API on addr.
-func runServe(m *core.Model, addr string) error {
+// requestTimeout bounds how long one estimate may sit in the engine queue
+// plus forward pass before the server gives up on it.
+const requestTimeout = 2 * time.Second
+
+// runServe blocks serving the estimation API on addr until SIGINT/SIGTERM,
+// then shuts down gracefully: stop accepting connections, let in-flight
+// HTTP requests finish, and drain the engine's queued batches before exit.
+func runServe(m *core.Model, addr string, scfg serving.Config) error {
+	reg := serving.NewRegistry(m)
+	eng := serving.NewEngine(reg, scfg)
+
 	log.Printf("serving CardNet (in_dim=%d tau_max=%d, %d KB) on %s", m.InDim, m.Cfg.TauMax, m.SizeBytes()/1024, addr)
-	log.Printf("endpoints: POST/GET /estimate, /metrics, /healthz, /debug/pprof/")
-	return http.ListenAndServe(addr, newServeMux(m))
+	log.Printf("endpoints: POST/GET /estimate, POST /admin/reload, /metrics, /healthz, /debug/pprof/")
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newServeMux(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining connections and queued batches")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	eng.Close() // after Shutdown: no new requests, drain what is queued
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
 }
 
 // newServeMux builds the serving handler tree (separated from runServe for
 // httptest coverage).
-func newServeMux(m *core.Model) *http.ServeMux {
+func newServeMux(eng *serving.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(m)))
-	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(m)))
+	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(eng)))
+	mux.HandleFunc("/admin/reload", instrument("http.reload", handleReload(eng)))
+	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng)))
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -63,28 +110,36 @@ type estimateResponse struct {
 	TauMax    int       `json:"tau_max"`
 }
 
-func handleEstimate(m *core.Model) http.HandlerFunc {
+func handleEstimate(eng *serving.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, err := parseEstimateRequest(r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if len(req.X) != m.InDim {
-			httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("x has %d features, model expects %d", len(req.X), m.InDim))
+		m, _ := eng.Registry().Current()
+		if err := validateEstimateRequest(req, m); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
+		defer cancel()
+
 		resp := estimateResponse{TauMax: m.Cfg.TauMax}
-		switch {
-		case req.All:
-			resp.Estimates = m.EstimateAllTaus(req.X)
+		if req.All {
+			ests, err := eng.EstimateAll(ctx, req.X)
+			if err != nil {
+				httpEngineError(w, err)
+				return
+			}
+			resp.Estimates = ests
 			resp.Tau = m.Cfg.TauMax
-		case req.Tau == nil:
-			httpError(w, http.StatusBadRequest, `"tau" is required unless "all" is set`)
-			return
-		default:
-			v := m.EstimateEncoded(req.X, *req.Tau)
+		} else {
+			v, err := eng.Estimate(ctx, req.X, *req.Tau)
+			if err != nil {
+				httpEngineError(w, err)
+				return
+			}
 			resp.Estimate = &v
 			resp.Tau = *req.Tau
 		}
@@ -92,11 +147,14 @@ func handleEstimate(m *core.Model) http.HandlerFunc {
 	}
 }
 
+// parseEstimateRequest decodes the wire formats; semantic checks live in
+// validateEstimateRequest so GET and POST share them.
 func parseEstimateRequest(r *http.Request) (*estimateRequest, error) {
 	var req estimateRequest
 	switch r.Method {
 	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			return nil, fmt.Errorf("bad JSON body: %v", err)
 		}
 	case http.MethodGet:
@@ -126,15 +184,93 @@ func parseEstimateRequest(r *http.Request) (*estimateRequest, error) {
 	return &req, nil
 }
 
-func handleHealthz(m *core.Model) http.HandlerFunc {
+// validateEstimateRequest enforces the model's input contract up front so
+// malformed queries fail with a deterministic 400 instead of reaching the
+// engine: x present and exactly InDim wide, strictly binary components, and
+// τ within [0, TauMax] unless the full curve is requested.
+func validateEstimateRequest(req *estimateRequest, m *core.Model) error {
+	if len(req.X) == 0 {
+		return errors.New(`"x" is required`)
+	}
+	if len(req.X) != m.InDim {
+		return fmt.Errorf("x has %d features, model expects %d", len(req.X), m.InDim)
+	}
+	for i, v := range req.X {
+		if v != 0 && v != 1 { // also rejects NaN/Inf
+			return fmt.Errorf("x[%d] = %v, encoded features must be binary 0/1", i, v)
+		}
+	}
+	if req.All {
+		return nil
+	}
+	if req.Tau == nil {
+		return errors.New(`"tau" is required unless "all" is set`)
+	}
+	if *req.Tau < 0 || *req.Tau > m.Cfg.TauMax {
+		return fmt.Errorf("tau %d outside [0, %d]", *req.Tau, m.Cfg.TauMax)
+	}
+	return nil
+}
+
+// reloadRequest is the POST /admin/reload body: the path of a model file
+// saved by `cardnet -mode train` / `-mode update`.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// handleReload hot-swaps the serving model: load the file, validate shape
+// compatibility against the live model, and install it atomically. In-flight
+// batches finish on the model they started with; the estimate cache is
+// invalidated so no stale estimate survives the swap.
+func handleReload(eng *serving.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req reloadRequest
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+			return
+		}
+		if req.Path == "" {
+			httpError(w, http.StatusBadRequest, `"path" is required`)
+			return
+		}
+		m, err := loadModel(req.Path)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("load model: %v", err))
+			return
+		}
+		version, err := eng.Registry().Swap(m)
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		log.Printf("reloaded model from %s (version %d, %d KB)", req.Path, version, m.SizeBytes()/1024)
 		writeJSON(w, map[string]any{
-			"status":      "ok",
+			"version":     version,
 			"in_dim":      m.InDim,
 			"tau_max":     m.Cfg.TauMax,
 			"tau_top":     m.TauTop,
-			"accel":       m.Cfg.Accel,
 			"model_bytes": m.SizeBytes(),
+		})
+	}
+}
+
+func handleHealthz(eng *serving.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, version := eng.Registry().Current()
+		writeJSON(w, map[string]any{
+			"status":        "ok",
+			"in_dim":        m.InDim,
+			"tau_max":       m.Cfg.TauMax,
+			"tau_top":       m.TauTop,
+			"accel":         m.Cfg.Accel,
+			"model_bytes":   m.SizeBytes(),
+			"model_version": version,
+			"cache_entries": eng.CacheLen(),
 		})
 	}
 }
@@ -144,6 +280,21 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := obs.Default.WriteJSON(w); err != nil {
 		httpErrors.Inc()
+	}
+}
+
+// httpEngineError maps engine failures onto status codes: overload and
+// shutdown become 503 (degrade gracefully, clients retry), deadline
+// expiry becomes 504, and anything else validation missed is a 400.
+func httpEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serving.ErrOverloaded), errors.Is(err, serving.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
 	}
 }
 

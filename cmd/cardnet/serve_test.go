@@ -8,24 +8,37 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
+	"cardnet/internal/serving"
 	"cardnet/internal/tensor"
 )
 
 // tinyModel returns a small untrained model (serving latency and plumbing do
-// not depend on trained weights).
-func tinyModel() *core.Model {
+// not depend on trained weights). Distinct seeds give distinct estimates.
+func tinyModel(seed int64) *core.Model {
 	cfg := core.DefaultConfig(8)
 	cfg.VAEHidden = []int{16}
 	cfg.VAELatent = 4
 	cfg.PhiHidden = []int{16}
 	cfg.ZDim = 8
 	cfg.Accel = true
-	cfg.Seed = 3
+	cfg.Seed = seed
 	return core.New(cfg, 16)
+}
+
+// newTestServer stands up the full handler tree over a fresh engine.
+func newTestServer(t *testing.T, m *core.Model, cfg serving.Config) (*httptest.Server, *serving.Engine) {
+	t.Helper()
+	eng := serving.NewEngine(serving.NewRegistry(m), cfg)
+	ts := httptest.NewServer(newServeMux(eng))
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+	return ts, eng
 }
 
 func postEstimate(t *testing.T, ts *httptest.Server, body string) (*http.Response, estimateResponse) {
@@ -44,15 +57,19 @@ func postEstimate(t *testing.T, ts *httptest.Server, body string) (*http.Respons
 	return resp, er
 }
 
-func TestServeEstimateAndMetrics(t *testing.T) {
-	m := tinyModel()
-	ts := httptest.NewServer(newServeMux(m))
-	defer ts.Close()
-
+func binXStrings(m *core.Model) []string {
 	x := make([]string, m.InDim)
 	for i := range x {
 		x[i] = fmt.Sprint(i % 2)
 	}
+	return x
+}
+
+func TestServeEstimateAndMetrics(t *testing.T) {
+	m := tinyModel(3)
+	ts, _ := newTestServer(t, m, serving.Config{MaxBatch: 4, MaxWait: time.Millisecond})
+
+	x := binXStrings(m)
 	xJSON := "[" + strings.Join(x, ",") + "]"
 
 	// POST with a single tau.
@@ -93,15 +110,7 @@ func TestServeEstimateAndMetrics(t *testing.T) {
 		t.Fatalf("GET estimate: %+v", getER)
 	}
 
-	// Validation errors: wrong dimension, missing tau, bad JSON.
-	for _, bad := range []string{`{"x":[1,0],"tau":1}`, `{"x":` + xJSON + `}`, `{not json`} {
-		if resp, _ := postEstimate(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("body %q: status=%d, want 400", bad, resp.StatusCode)
-		}
-	}
-
-	// /metrics reports the traffic just served: non-zero estimate-latency
-	// histogram counts, τ-distribution observations, and span metrics.
+	// /metrics reports the traffic just served, now through the batch path.
 	mResp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -114,27 +123,247 @@ func TestServeEstimateAndMetrics(t *testing.T) {
 	if err := json.NewDecoder(mResp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Counters["core.estimate.calls"] == 0 {
-		t.Fatal("metrics: no estimate calls recorded")
+	if snap.Counters["serving.requests"] == 0 {
+		t.Fatal("metrics: no serving requests recorded")
 	}
-	if snap.Histograms["core.estimate.seconds"].Count == 0 {
-		t.Fatal("metrics: empty estimate latency histogram")
+	if snap.Counters["core.estimate_batch.rows"] == 0 {
+		t.Fatal("metrics: no batched rows recorded")
 	}
-	if snap.Histograms["core.estimate.tau"].Count == 0 {
-		t.Fatal("metrics: empty tau distribution")
+	if snap.Histograms["serving.batch.size"].Count == 0 {
+		t.Fatal("metrics: empty batch-size histogram")
 	}
 	if snap.Histograms["http.estimate.seconds"].Count == 0 || snap.Counters["http.estimate.calls"] == 0 {
 		t.Fatal("metrics: HTTP span not recorded")
 	}
-	if snap.Counters["http.errors"] < 3 {
-		t.Fatalf("metrics: error counter=%d, want ≥3", snap.Counters["http.errors"])
+}
+
+// Satellite: every malformed input fails with a deterministic 400.
+func TestServeEstimateValidation(t *testing.T) {
+	m := tinyModel(3)
+	ts, _ := newTestServer(t, m, serving.Config{})
+
+	x := binXStrings(m)
+	xJSON := "[" + strings.Join(x, ",") + "]"
+	xCSV := strings.Join(x, ",")
+
+	post := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{not json`},
+		{"empty body", ``},
+		{"empty x", `{"x":[],"tau":1}`},
+		{"missing x", `{"tau":1}`},
+		{"short x", `{"x":[1,0],"tau":1}`},
+		{"long x", `{"x":[` + xCSV + `,1],"tau":1}`},
+		{"non-binary x", `{"x":[` + strings.Replace(xCSV, "1", "0.5", 1) + `],"tau":1}`},
+		{"negative component", `{"x":[` + strings.Replace(xCSV, "1", "-1", 1) + `],"tau":1}`},
+		{"missing tau", `{"x":` + xJSON + `}`},
+		{"negative tau", `{"x":` + xJSON + `,"tau":-1}`},
+		{"tau beyond TauMax", `{"x":` + xJSON + `,"tau":` + fmt.Sprint(m.Cfg.TauMax+1) + `}`},
+		{"string x", `{"x":"101","tau":1}`},
+	}
+	for _, tc := range post {
+		resp, _ := postEstimate(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s: status=%d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	get := []struct {
+		name, query string
+	}{
+		{"empty x", "?tau=1"},
+		{"junk x", "?x=1,zebra,0&tau=1"},
+		{"short x", "?x=1,0&tau=1"},
+		{"non-binary x", "?x=" + strings.Replace(xCSV, "1", "7", 1) + "&tau=1"},
+		{"junk tau", "?x=" + xCSV + "&tau=many"},
+		{"tau beyond TauMax", "?x=" + xCSV + "&tau=99"},
+		{"missing tau", "?x=" + xCSV},
+	}
+	for _, tc := range get {
+		resp, err := http.Get(ts.URL + "/estimate" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status=%d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	// Unsupported method.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/estimate", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("DELETE: status=%d, want 400", resp.StatusCode)
+	}
+}
+
+// A drained engine maps to 503 end to end (the graceful-shutdown and
+// overload degradation path, deterministic flavor).
+func TestServeUnavailableAfterEngineClose(t *testing.T) {
+	m := tinyModel(3)
+	eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{})
+	ts := httptest.NewServer(newServeMux(eng))
+	defer ts.Close()
+	eng.Close()
+
+	x := strings.Join(binXStrings(m), ",")
+	resp, err := http.Get(ts.URL + "/estimate?x=" + x + "&tau=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed engine: status=%d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// /admin/reload: invalid requests are rejected, a shape-compatible model
+// swaps with zero failed in-flight requests, and answers flip to the new
+// model (cache invalidated).
+func TestServeAdminReload(t *testing.T) {
+	m1, m2 := tinyModel(3), tinyModel(17)
+	ts, eng := newTestServer(t, m1, serving.Config{MaxBatch: 8, MaxWait: 200 * time.Microsecond, QueueDepth: 4096})
+
+	dir := t.TempDir()
+	goodPath := dir + "/m2.gob"
+	if err := saveModel(m2, goodPath); err != nil {
+		t.Fatal(err)
+	}
+	wrongShape := core.New(func() core.Config {
+		cfg := m1.Cfg
+		cfg.TauMax = m1.Cfg.TauMax + 2
+		return cfg
+	}(), m1.InDim)
+	wrongPath := dir + "/wrong.gob"
+	if err := saveModel(wrongShape, wrongPath); err != nil {
+		t.Fatal(err)
+	}
+
+	postReload := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/admin/reload", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Rejections: bad JSON, missing path, missing file, incompatible shape.
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{nope`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"path":"` + dir + `/missing.gob"}`, http.StatusBadRequest},
+		{`{"path":"` + wrongPath + `"}`, http.StatusConflict},
+	} {
+		resp := postReload(tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("reload %q: status=%d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	if _, v := eng.Registry().Current(); v != 1 {
+		t.Fatalf("rejected reloads advanced version to %d", v)
+	}
+
+	// Hammer /estimate while swapping: zero non-200 responses allowed.
+	xs := binXStrings(m1)
+	xCSV := strings.Join(xs, ",")
+	xv := parseFloats(t, xs)
+	want1 := m1.EstimateEncoded(xv, 2)
+	want2 := m2.EstimateEncoded(xv, 2)
+	if want1 == want2 {
+		t.Fatal("fixture models agree; swap would be unobservable")
+	}
+
+	stop := make(chan struct{})
+	var failed, served atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/estimate?x=" + xCSV + "&tau=2")
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				var er estimateResponse
+				jsonErr := json.NewDecoder(resp.Body).Decode(&er)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || jsonErr != nil ||
+					er.Estimate == nil || (*er.Estimate != want1 && *er.Estimate != want2) {
+					failed.Add(1)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	resp := postReload(`{"path":"` + goodPath + `"}`)
+	var rr map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr["version"].(float64) != 2 {
+		t.Fatalf("reload: status=%d body=%v", resp.StatusCode, rr)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d estimate requests failed during reload", failed.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no traffic served during reload")
+	}
+
+	// Cache was invalidated: the same query now answers from the new model.
+	resp2, er := postEstimate(t, ts, `{"x":[`+xCSV+`],"tau":2}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload estimate status=%d", resp2.StatusCode)
+	}
+	if *er.Estimate != want2 {
+		t.Fatalf("post-reload estimate %v, want new model's %v", *er.Estimate, want2)
+	}
+	if _, v := eng.Registry().Current(); v != 2 {
+		t.Fatalf("registry version %d after reload, want 2", v)
+	}
+
+	// GET on the admin endpoint is rejected.
+	getResp, err := http.Get(ts.URL + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: status=%d, want 405", getResp.StatusCode)
 	}
 }
 
 func TestServeHealthzAndPprof(t *testing.T) {
-	m := tinyModel()
-	ts := httptest.NewServer(newServeMux(m))
-	defer ts.Close()
+	m := tinyModel(3)
+	ts, _ := newTestServer(t, m, serving.Config{})
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -148,6 +377,9 @@ func TestServeHealthzAndPprof(t *testing.T) {
 	if hz["status"] != "ok" || int(hz["in_dim"].(float64)) != m.InDim {
 		t.Fatalf("healthz: %+v", hz)
 	}
+	if int(hz["model_version"].(float64)) != 1 {
+		t.Fatalf("healthz version: %+v", hz)
+	}
 
 	pp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
 	if err != nil {
@@ -160,7 +392,7 @@ func TestServeHealthzAndPprof(t *testing.T) {
 }
 
 func TestObsBenchReport(t *testing.T) {
-	m := tinyModel()
+	m := tinyModel(3)
 	x := make([]float64, m.InDim*4)
 	for i := range x {
 		x[i] = float64(i % 2)
@@ -192,6 +424,51 @@ func TestObsBenchReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	if back.On.Calls != rep.On.Calls {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestServeBenchReport(t *testing.T) {
+	m := tinyModel(3)
+	x := make([]float64, m.InDim*40)
+	for i := range x {
+		x[i] = float64((i / 3) % 2)
+	}
+	testX := matrixFromData(m.InDim, x)
+	rep, err := runServeBench(m, testX, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerRequest.QPS <= 0 || len(rep.Batched) == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	for _, b := range rep.Batched {
+		if !b.Identical {
+			t.Fatalf("batch size %d: batched estimates diverged from per-sample", b.Size)
+		}
+		if b.QPS <= 0 {
+			t.Fatalf("batch size %d: non-positive throughput", b.Size)
+		}
+	}
+	if rep.Engine.ColdQPS <= 0 || rep.Engine.WarmQPS <= 0 {
+		t.Fatalf("engine bench empty: %+v", rep.Engine)
+	}
+	if rep.Engine.HitRatio <= 0 {
+		t.Fatalf("warm run recorded no cache hits: %+v", rep.Engine)
+	}
+	path := t.TempDir() + "/BENCH_serving.json"
+	if err := rep.write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back serveBenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Batched) != len(rep.Batched) {
 		t.Fatalf("round trip mismatch: %+v", back)
 	}
 }

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"cardnet/internal/core"
+	"cardnet/internal/obs"
+	"cardnet/internal/serving"
+	"cardnet/internal/tensor"
+)
+
+// batchPoint is one batched-throughput measurement: batched estimates per
+// second at the given batch size, its speedup over the per-request path, and
+// whether every batched estimate was byte-identical to the per-sample one.
+type batchPoint struct {
+	Size      int     `json:"size"`
+	QPS       float64 `json:"qps"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// engineBench measures the full serving engine under concurrent load with
+// the estimate cache disabled (cold) vs enabled over repeating traffic
+// (warm), plus the observed cache hit ratio of the warm run.
+type engineBench struct {
+	ColdQPS  float64 `json:"cold_qps"`
+	WarmQPS  float64 `json:"warm_qps"`
+	Speedup  float64 `json:"speedup"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// serveBenchReport is the results/BENCH_serving.json schema.
+type serveBenchReport struct {
+	Dataset    string `json:"dataset"`
+	Records    int    `json:"records"`
+	InDim      int    `json:"in_dim"`
+	TauMax     int    `json:"tau_max"`
+	Accel      bool   `json:"accel"`
+	Calls      int    `json:"calls"`
+	PerRequest struct {
+		QPS float64 `json:"qps"`
+	} `json:"per_request"`
+	Batched []batchPoint `json:"batched"`
+	Engine  engineBench  `json:"engine"`
+}
+
+// runServeBench measures the three levers of the serving subsystem: the
+// batched forward pass vs per-request calls, and the estimate cache under
+// repeating concurrent traffic. Instrumentation stays enabled throughout —
+// the numbers are what production would see.
+func runServeBench(m *core.Model, testX *tensor.Matrix, calls int) (*serveBenchReport, error) {
+	if testX == nil || testX.Rows == 0 {
+		return nil, fmt.Errorf("no test queries in bundle")
+	}
+	if calls < 512 {
+		calls = 512
+	}
+	tauMax := m.Cfg.TauMax
+	rows := testX.Rows
+	tauOf := func(i int) int { return i % (tauMax + 1) }
+
+	rep := &serveBenchReport{InDim: m.InDim, TauMax: tauMax, Accel: m.Cfg.Accel, Calls: calls}
+
+	// Warmup both paths.
+	for i := 0; i < 64; i++ {
+		m.EstimateEncoded(testX.Row(i%rows), tauOf(i))
+	}
+
+	// Per-request baseline: one forward pass per estimate.
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		m.EstimateEncoded(testX.Row(i%rows), tauOf(i))
+	}
+	rep.PerRequest.QPS = float64(calls) / time.Since(t0).Seconds()
+
+	// Batched path, including the row-copy cost the engine pays.
+	for _, size := range []int{8, 16, 32} {
+		xs := tensor.NewMatrix(size, m.InDim)
+		taus := make([]int, size)
+		iters := calls / size
+		b0 := time.Now()
+		for it := 0; it < iters; it++ {
+			for r := 0; r < size; r++ {
+				i := it*size + r
+				copy(xs.Row(r), testX.Row(i%rows))
+				taus[r] = tauOf(i)
+			}
+			m.EstimateEncodedBatch(xs, taus)
+		}
+		qps := float64(iters*size) / time.Since(b0).Seconds()
+		rep.Batched = append(rep.Batched, batchPoint{
+			Size:      size,
+			QPS:       qps,
+			Speedup:   qps / rep.PerRequest.QPS,
+			Identical: verifyBatchIdentical(m, testX, size),
+		})
+	}
+
+	eng, err := benchEngine(m, testX, calls, tauOf)
+	if err != nil {
+		return nil, err
+	}
+	rep.Engine = *eng
+	return rep, nil
+}
+
+// verifyBatchIdentical checks byte-for-byte equality of the batched and
+// per-sample paths over every (query, τ) pair the bench exercises.
+func verifyBatchIdentical(m *core.Model, testX *tensor.Matrix, size int) bool {
+	tauMax := m.Cfg.TauMax
+	xs := tensor.NewMatrix(size, m.InDim)
+	taus := make([]int, size)
+	for start := 0; start < testX.Rows; start += size {
+		n := size
+		if start+n > testX.Rows {
+			n = testX.Rows - start
+		}
+		sub := &tensor.Matrix{Rows: n, Cols: m.InDim, Data: xs.Data[:n*m.InDim]}
+		for r := 0; r < n; r++ {
+			copy(sub.Row(r), testX.Row(start+r))
+			taus[r] = (start + r) % (tauMax + 1)
+		}
+		got := m.EstimateEncodedBatch(sub, taus[:n])
+		for r := 0; r < n; r++ {
+			if got[r] != m.EstimateEncoded(sub.Row(r), taus[r]) {
+				return false
+			}
+		}
+		all := m.EstimateAllTausBatch(sub)
+		for r := 0; r < n; r++ {
+			want := m.EstimateAllTaus(sub.Row(r))
+			for i := range want {
+				if all.At(r, i) != want[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// benchEngine drives the full engine (queue, batcher, cache) with concurrent
+// clients over a repeating query set, cache off vs on.
+func benchEngine(m *core.Model, testX *tensor.Matrix, calls int, tauOf func(int) int) (*engineBench, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	run := func(cacheEntries int) (float64, error) {
+		reg := serving.NewRegistry(m)
+		eng := serving.NewEngine(reg, serving.Config{
+			MaxBatch:     32,
+			MaxWait:      200 * time.Microsecond,
+			QueueDepth:   4096,
+			CacheEntries: cacheEntries,
+		})
+		defer eng.Close()
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		per := calls / workers
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					q := (w*per + i) % testX.Rows
+					if _, err := eng.Estimate(context.Background(), testX.Row(q), tauOf(q)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0).Seconds()
+		select {
+		case err := <-errc:
+			return 0, err
+		default:
+		}
+		return float64(per*workers) / elapsed, nil
+	}
+
+	out := &engineBench{}
+	var err error
+	if out.ColdQPS, err = run(-1); err != nil {
+		return nil, err
+	}
+	hits0 := obs.Default.Counter("serving.cache.hits").Value()
+	miss0 := obs.Default.Counter("serving.cache.misses").Value()
+	if out.WarmQPS, err = run(4096); err != nil {
+		return nil, err
+	}
+	hits := float64(obs.Default.Counter("serving.cache.hits").Value() - hits0)
+	misses := float64(obs.Default.Counter("serving.cache.misses").Value() - miss0)
+	if hits+misses > 0 {
+		out.HitRatio = hits / (hits + misses)
+	}
+	if out.ColdQPS > 0 {
+		out.Speedup = out.WarmQPS / out.ColdQPS
+	}
+	return out, nil
+}
+
+func (r *serveBenchReport) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cardnet/internal/tensor"
+)
+
+// randomBinaryBatch builds a B×dim matrix of random {0,1} rows.
+func randomBinaryBatch(seed int64, b, dim int) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	xs := tensor.NewMatrix(b, dim)
+	for i := range xs.Data {
+		xs.Data[i] = float64(rng.Intn(2))
+	}
+	return xs
+}
+
+// The batched paths must be bit-identical to the per-sample paths — the
+// serving engine relies on this to coalesce requests without changing
+// answers.
+func TestBatchedEstimatesBitIdentical(t *testing.T) {
+	for _, accel := range []bool{false, true} {
+		m := New(tinyConfig(7, accel), 20)
+		const b = 13
+		xs := randomBinaryBatch(11, b, m.InDim)
+
+		all := m.EstimateAllTausBatch(xs)
+		if all.Rows != b || all.Cols != m.Cfg.TauMax+1 {
+			t.Fatalf("accel=%v: batch all-taus shape %d×%d", accel, all.Rows, all.Cols)
+		}
+		taus := make([]int, b)
+		for e := 0; e < b; e++ {
+			taus[e] = e % (m.Cfg.TauMax + 3) // exercises clamping too
+		}
+		single := m.EstimateEncodedBatch(xs, taus)
+
+		for e := 0; e < b; e++ {
+			want := m.EstimateAllTaus(xs.Row(e))
+			for i, v := range want {
+				if all.At(e, i) != v {
+					t.Fatalf("accel=%v: row %d τ=%d batched %v != per-sample %v", accel, e, i, all.At(e, i), v)
+				}
+			}
+			if w := m.EstimateEncoded(xs.Row(e), taus[e]); single[e] != w {
+				t.Fatalf("accel=%v: row %d tau=%d batched %v != per-sample %v", accel, e, taus[e], single[e], w)
+			}
+		}
+	}
+}
+
+func TestBatchedEstimateNegativeTauIsZero(t *testing.T) {
+	m := New(tinyConfig(5, true), 16)
+	xs := randomBinaryBatch(3, 2, m.InDim)
+	got := m.EstimateEncodedBatch(xs, []int{-1, 2})
+	if got[0] != 0 {
+		t.Fatalf("negative tau: got %v, want 0", got[0])
+	}
+	if want := m.EstimateEncoded(xs.Row(1), 2); got[1] != want {
+		t.Fatalf("row 1: got %v, want %v", got[1], want)
+	}
+}
+
+func TestBatchedEstimateShapePanics(t *testing.T) {
+	m := New(tinyConfig(4, false), 8)
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("wrong dim", func() { m.EstimateAllTausBatch(tensor.NewMatrix(2, 5)) })
+	assertPanics("tau count", func() { m.EstimateEncodedBatch(tensor.NewMatrix(2, 8), []int{1}) })
+}
+
+// Concurrent inference on one shared model must be race-free and return the
+// same values as serial inference. Run with -race (make ci does) to lock in
+// the guarantee that the inference forward pass writes no shared state.
+func TestEstimateConcurrentMatchesSerial(t *testing.T) {
+	for _, accel := range []bool{false, true} {
+		m := New(tinyConfig(6, accel), 24)
+		const nq = 64
+		xs := randomBinaryBatch(29, nq, m.InDim)
+
+		wantAll := make([][]float64, nq)
+		wantOne := make([]float64, nq)
+		for e := 0; e < nq; e++ {
+			wantAll[e] = m.EstimateAllTaus(xs.Row(e))
+			wantOne[e] = m.EstimateEncoded(xs.Row(e), e%(m.Cfg.TauMax+1))
+		}
+
+		workers := runtime.GOMAXPROCS(0) * 2
+		if workers < 4 {
+			workers = 4
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for rep := 0; rep < 20; rep++ {
+					e := (w*31 + rep*7) % nq
+					if got := m.EstimateEncoded(xs.Row(e), e%(m.Cfg.TauMax+1)); got != wantOne[e] {
+						errs <- "EstimateEncoded diverged under concurrency"
+						return
+					}
+					got := m.EstimateAllTaus(xs.Row(e))
+					for i, v := range wantAll[e] {
+						if got[i] != v {
+							errs <- "EstimateAllTaus diverged under concurrency"
+							return
+						}
+					}
+					if rep%5 == 0 {
+						sub := tensor.NewMatrix(4, m.InDim)
+						taus := make([]int, 4)
+						for r := 0; r < 4; r++ {
+							copy(sub.Row(r), xs.Row((e+r)%nq))
+							taus[r] = (e + r) % (m.Cfg.TauMax + 1)
+						}
+						batch := m.EstimateEncodedBatch(sub, taus)
+						for r := 0; r < 4; r++ {
+							// The single-τ estimate is the prefix sum at τ, so it
+							// must match the precomputed all-τ row exactly.
+							if batch[r] != wantAll[(e+r)%nq][taus[r]] {
+								errs <- "EstimateEncodedBatch diverged under concurrency"
+								return
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatalf("accel=%v: %s", accel, msg)
+		}
+	}
+}

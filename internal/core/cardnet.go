@@ -30,6 +30,10 @@ var (
 	trainEpochTime = obs.Default.Histogram("core.train.epoch_seconds", obs.TimeBuckets())
 	trainEpochs    = obs.Default.Counter("core.train.epochs")
 	trainValidMSLE = obs.Default.Gauge("core.train.valid_msle")
+
+	estBatchLatency = obs.Default.Histogram("core.estimate_batch.seconds", obs.TimeBuckets())
+	estBatchCalls   = obs.Default.Counter("core.estimate_batch.calls")
+	estBatchRows    = obs.Default.Counter("core.estimate_batch.rows")
 )
 
 // monoSampleEvery sets the monotonicity spot-check rate on the estimate
@@ -294,6 +298,87 @@ func (m *Model) EstimateAllTaus(x []float64) []float64 {
 		tm.Stop()
 		estAllCalls.Inc()
 		if estSeq.Add(1)%monoSampleEvery == 0 {
+			spotCheckMonotone(f.c.Row(0))
+		}
+	}
+	return out
+}
+
+// EstimateAllTausBatch runs one forward pass over a whole batch: xs is
+// B×InDim (one encoded query per row) and the result is B×(TauMax+1), row e
+// holding the prefix-sum estimates of query e at every τ. Stacking rows
+// through the shared Φ/Φ′ matmuls amortizes weight-matrix memory traffic, so
+// this is the serving hot path; every output element is bit-identical to the
+// corresponding per-sample EstimateAllTaus / EstimateEncoded result. Safe for
+// concurrent callers (the inference forward writes no shared state).
+func (m *Model) EstimateAllTausBatch(xs *tensor.Matrix) *tensor.Matrix {
+	if xs.Cols != m.InDim {
+		panic(fmt.Sprintf("core: feature dim %d, model expects %d", xs.Cols, m.InDim))
+	}
+	traced := obs.Enabled()
+	var tm obs.Timer
+	if traced {
+		tm = obs.StartTimer(estBatchLatency)
+	}
+	f := m.forward(xs, false, nil)
+	t := m.tauCount()
+	out := tensor.NewMatrix(xs.Rows, t)
+	for e := 0; e < xs.Rows; e++ {
+		row := out.Row(e)
+		var sum float64
+		for i := 0; i < t; i++ {
+			sum += f.c.At(e, i)
+			row[i] = sum
+		}
+	}
+	if traced {
+		tm.Stop()
+		estBatchCalls.Inc()
+		estBatchRows.Add(uint64(xs.Rows))
+		if estSeq.Add(1)%monoSampleEvery == 0 && xs.Rows > 0 {
+			spotCheckMonotone(f.c.Row(0))
+		}
+	}
+	return out
+}
+
+// EstimateEncodedBatch estimates a batch of (query, τ) pairs in one forward
+// pass: xs is B×InDim and taus[e] is query e's transformed threshold
+// (negative τ yields 0, τ above TauMax clamps, matching EstimateEncoded).
+// Results are bit-identical to calling EstimateEncoded per row.
+func (m *Model) EstimateEncodedBatch(xs *tensor.Matrix, taus []int) []float64 {
+	if len(taus) != xs.Rows {
+		panic(fmt.Sprintf("core: %d taus for %d rows", len(taus), xs.Rows))
+	}
+	if xs.Cols != m.InDim {
+		panic(fmt.Sprintf("core: feature dim %d, model expects %d", xs.Cols, m.InDim))
+	}
+	traced := obs.Enabled()
+	var tm obs.Timer
+	if traced {
+		tm = obs.StartTimer(estBatchLatency)
+	}
+	f := m.forward(xs, false, nil)
+	out := make([]float64, xs.Rows)
+	for e := 0; e < xs.Rows; e++ {
+		tau := taus[e]
+		if tau < 0 {
+			continue
+		}
+		if tau > m.Cfg.TauMax {
+			tau = m.Cfg.TauMax
+		}
+		var sum float64
+		for i := 0; i <= tau; i++ {
+			sum += f.c.At(e, i)
+		}
+		out[e] = sum
+	}
+	if traced {
+		tm.Stop()
+		estBatchCalls.Inc()
+		estBatchRows.Add(uint64(xs.Rows))
+		if estSeq.Add(1)%monoSampleEvery == 0 && xs.Rows > 0 {
 			spotCheckMonotone(f.c.Row(0))
 		}
 	}

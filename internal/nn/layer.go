@@ -6,10 +6,12 @@
 // standard library.
 //
 // The framework is batch-oriented: a batch is a tensor.Matrix with one row
-// per example. Layers cache whatever they need during Forward and consume it
-// in Backward, so a layer instance must not be shared across concurrent
-// passes. Gradients accumulate into Param.Grad until the optimizer steps and
-// zeroes them.
+// per example. In training mode (Forward's train=true) layers cache whatever
+// Backward needs, so a layer instance must not be shared across concurrent
+// training passes. Inference mode (train=false) writes no layer state at
+// all: concurrent Forward(x, false) calls on a shared instance are safe,
+// which is what lets one loaded model serve many requests at once. Gradients
+// accumulate into Param.Grad until the optimizer steps and zeroes them.
 package nn
 
 import (
@@ -65,9 +67,12 @@ func (d *Dense) gradMatrix() *tensor.Matrix {
 	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Grad}
 }
 
-// Forward computes x·Wᵀ + b.
+// Forward computes x·Wᵀ + b. The input is cached for Backward only in
+// training mode; inference leaves the layer untouched (goroutine-safe).
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	d.x = x
+	if train {
+		d.x = x
+	}
 	y := tensor.MatMulABT(x, d.weightMatrix(), nil)
 	tensor.AddBias(y, d.B.Value)
 	return y
@@ -167,14 +172,17 @@ func (a *Activation) deriv(x, y float64) float64 {
 	}
 }
 
-// Forward applies the activation element-wise.
+// Forward applies the activation element-wise. Input/output are cached for
+// Backward only in training mode; inference writes no layer state.
 func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	a.x = x
 	y := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = a.Apply(v)
 	}
-	a.y = y
+	if train {
+		a.x = x
+		a.y = y
+	}
 	return y
 }
 

@@ -1,0 +1,178 @@
+package serving
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// tauAll is the cache-key τ of an all-τ entry (a full estimate curve).
+// Request validation rejects negative τ, so it cannot collide with a real
+// threshold.
+const tauAll = -1
+
+// cacheKey identifies one cached estimate: the 64-bit hash of the encoded
+// query vector plus the transformed threshold (or tauAll).
+type cacheKey struct {
+	h   uint64
+	tau int
+}
+
+// cacheEntry is an LRU node payload: len(vals) == 1 for a single-τ estimate,
+// TauMax+1 for an all-τ curve.
+type cacheEntry struct {
+	key  cacheKey
+	vals []float64
+}
+
+// estimateCache is a sharded LRU over estimates. Shards are selected by key
+// hash so concurrent lookups rarely contend on one mutex. A generation
+// counter implements invalidation-on-swap: Invalidate bumps the generation
+// and clears every shard, and Put drops values whose generation snapshot is
+// stale, so a batch computed against a replaced model can never re-populate
+// the cache afterwards.
+type estimateCache struct {
+	shards []cacheShard
+	mask   uint64
+	gen    atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	byKey map[cacheKey]*list.Element
+}
+
+// newEstimateCache builds a cache of ~entries capacity split over shards
+// (rounded up to a power of two).
+func newEstimateCache(entries, shards int) *estimateCache {
+	if entries <= 0 {
+		return nil
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (entries + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &estimateCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: perShard, ll: list.New(), byKey: make(map[cacheKey]*list.Element)}
+	}
+	return c
+}
+
+func (c *estimateCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[k.h&c.mask]
+}
+
+// Gen returns the current generation. Snapshot it before running a forward
+// pass and hand it to Put.
+func (c *estimateCache) Gen() uint64 { return c.gen.Load() }
+
+// Get returns the cached values for k, refreshing its LRU position.
+func (c *estimateCache) Get(k cacheKey) ([]float64, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	var vals []float64
+	el, ok := s.byKey[k]
+	if ok {
+		s.ll.MoveToFront(el)
+		vals = el.Value.(*cacheEntry).vals // read under the lock: Put may replace it
+	}
+	s.mu.Unlock()
+	if !ok {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	mCacheHits.Inc()
+	return vals, true
+}
+
+// Put inserts vals under k, evicting the shard's least-recently-used entry
+// when full. The write is dropped if gen is stale (the cache was invalidated
+// after the caller snapshotted it).
+func (c *estimateCache) Put(k cacheKey, vals []float64, gen uint64) {
+	if c.gen.Load() != gen {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the shard lock: Invalidate holds every shard lock while
+	// clearing, so a stale writer cannot slip in between the clear and the
+	// generation bump.
+	if c.gen.Load() != gen {
+		return
+	}
+	if el, ok := s.byKey[k]; ok {
+		el.Value.(*cacheEntry).vals = vals
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.byKey, oldest.Value.(*cacheEntry).key)
+			mCacheEvicts.Inc()
+		}
+	}
+	s.byKey[k] = s.ll.PushFront(&cacheEntry{key: k, vals: vals})
+}
+
+// Invalidate clears every shard and bumps the generation, racing correctly
+// with concurrent Puts holding an older generation.
+func (c *estimateCache) Invalidate() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.byKey = make(map[cacheKey]*list.Element)
+	}
+	c.gen.Add(1)
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// Len returns the total number of cached entries (test/ops helper).
+func (c *estimateCache) Len() int {
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// hashX hashes an encoded query vector with FNV-1a over the IEEE-754 bytes
+// of each component, finished with a splitmix64 avalanche so that low-entropy
+// binary vectors still spread across shards.
+func hashX(x []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range x {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= prime64
+			b >>= 8
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,304 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cardnet/internal/tensor"
+)
+
+// Config tunes the engine. Zero values take the documented defaults.
+type Config struct {
+	// MaxBatch is the most requests coalesced into one forward pass
+	// (default 32). 1 disables batching.
+	MaxBatch int
+	// MaxWait bounds how long a formed batch waits for more requests before
+	// flushing (default 1ms).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrOverloaded (default 256).
+	QueueDepth int
+	// Workers is the number of batch-running goroutines (default half the
+	// CPUs, at least 1). Each worker forms and runs its own batches; the
+	// model forward pass is goroutine-safe.
+	Workers int
+	// CacheEntries is the estimate-cache capacity; 0 uses the default 4096,
+	// negative disables the cache.
+	CacheEntries int
+	// CacheShards is the cache shard count, rounded up to a power of two
+	// (default 8).
+	CacheShards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	return c
+}
+
+// request is one queued estimate; done is buffered so a worker can always
+// complete a request whose caller has already given up on its deadline.
+type request struct {
+	ctx  context.Context
+	x    []float64
+	tau  int
+	all  bool
+	h    uint64 // hash of x, set when the cache is enabled
+	done chan result
+}
+
+type result struct {
+	val float64
+	all []float64
+	err error
+}
+
+// Engine is the batched inference front-end over a model Registry. Create
+// with NewEngine, serve with Estimate/EstimateAll, stop with Close (which
+// drains queued requests before returning).
+type Engine struct {
+	cfg   Config
+	reg   *Registry
+	cache *estimateCache
+
+	q      chan *request
+	mu     sync.RWMutex // guards closed against concurrent submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts cfg.Workers batch workers over the registry's model and
+// hooks cache invalidation to registry swaps.
+func NewEngine(reg *Registry, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		reg:   reg,
+		cache: newEstimateCache(cfg.CacheEntries, cfg.CacheShards),
+		q:     make(chan *request, cfg.QueueDepth),
+	}
+	if e.cache != nil {
+		reg.OnSwap(e.cache.Invalidate)
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Registry exposes the engine's model registry (for the reload endpoint).
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// CacheLen reports the number of cached estimates (0 when disabled).
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Len()
+}
+
+// Estimate returns the cardinality estimate for an encoded query x at
+// transformed threshold τ, batching the forward pass with concurrent
+// requests. It fails fast with ErrOverloaded when the queue is full, ErrClosed
+// after Close, ErrBadInput on shape/τ violations, and the context error when
+// ctx expires first.
+func (e *Engine) Estimate(ctx context.Context, x []float64, tau int) (float64, error) {
+	m, _ := e.reg.Current()
+	if len(x) != m.InDim {
+		return 0, fmt.Errorf("%w: x has %d features, model expects %d", ErrBadInput, len(x), m.InDim)
+	}
+	if tau < 0 || tau > m.Cfg.TauMax {
+		return 0, fmt.Errorf("%w: tau %d outside [0, %d]", ErrBadInput, tau, m.Cfg.TauMax)
+	}
+	mRequests.Inc()
+	r := &request{ctx: ctx, x: x, tau: tau, done: make(chan result, 1)}
+	if e.cache != nil {
+		r.h = hashX(x)
+		if v, ok := e.cache.Get(cacheKey{r.h, tau}); ok {
+			return v[0], nil
+		}
+	}
+	res, err := e.dispatch(ctx, r)
+	return res.val, err
+}
+
+// EstimateAll returns the full estimate curve (every τ in [0, TauMax]) for
+// one encoded query, with the same batching, caching, and failure modes as
+// Estimate. Callers must not mutate the returned slice.
+func (e *Engine) EstimateAll(ctx context.Context, x []float64) ([]float64, error) {
+	m, _ := e.reg.Current()
+	if len(x) != m.InDim {
+		return nil, fmt.Errorf("%w: x has %d features, model expects %d", ErrBadInput, len(x), m.InDim)
+	}
+	mRequests.Inc()
+	r := &request{ctx: ctx, x: x, all: true, done: make(chan result, 1)}
+	if e.cache != nil {
+		r.h = hashX(x)
+		if v, ok := e.cache.Get(cacheKey{r.h, tauAll}); ok {
+			return v, nil
+		}
+	}
+	res, err := e.dispatch(ctx, r)
+	return res.all, err
+}
+
+// dispatch submits r and waits for its result or the context deadline.
+func (e *Engine) dispatch(ctx context.Context, r *request) (result, error) {
+	if err := e.submit(r); err != nil {
+		return result{}, err
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case res := <-r.done:
+		return res, res.err
+	case <-done:
+		mExpired.Inc()
+		return result{}, ctx.Err()
+	}
+}
+
+// submit enqueues without blocking: admission control is the queue bound.
+func (e *Engine) submit(r *request) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.q <- r:
+		mQueueDepth.Set(float64(len(e.q)))
+		return nil
+	default:
+		mOverloaded.Inc()
+		return ErrOverloaded
+	}
+}
+
+// Close stops admission, drains every queued request through the workers,
+// and waits for them to finish — the graceful-shutdown half of the server's
+// SIGTERM handling.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.q)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for r := range e.q {
+		e.run(e.collect(r))
+	}
+}
+
+// collect forms a batch starting from first: it keeps pulling queued
+// requests until the batch is full (size flush) or MaxWait has passed since
+// the batch started forming (deadline flush, which bounds the latency a
+// lone request pays for batching).
+func (e *Engine) collect(first *request) []*request {
+	batch := []*request{first}
+	if e.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(e.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case r, ok := <-e.q:
+			if !ok { // Close drained the queue: flush what we have
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			mFlushDeadline.Inc()
+			return batch
+		}
+	}
+	mFlushSize.Inc()
+	return batch
+}
+
+// run executes one batch: expired requests are failed individually, the
+// rest share a single stacked forward pass on the current model, and every
+// result is delivered and cached. The model pointer and cache generation are
+// snapshotted together so a concurrent swap can neither fail the batch nor
+// let its results poison the post-swap cache.
+func (e *Engine) run(batch []*request) {
+	mQueueDepth.Set(float64(len(e.q)))
+	var gen uint64
+	if e.cache != nil {
+		gen = e.cache.Gen() // before the model load: stale Puts must lose
+	}
+	m, _ := e.reg.Current()
+
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if r.ctx != nil {
+			select {
+			case <-r.ctx.Done():
+				mExpired.Inc()
+				r.done <- result{err: r.ctx.Err()}
+				continue
+			default:
+			}
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	mBatchSize.Observe(float64(len(live)))
+
+	xs := tensor.NewMatrix(len(live), m.InDim)
+	for i, r := range live {
+		copy(xs.Row(i), r.x)
+	}
+	all := m.EstimateAllTausBatch(xs)
+	for i, r := range live {
+		row := all.Row(i)
+		if r.all {
+			vals := append([]float64(nil), row...)
+			if e.cache != nil {
+				e.cache.Put(cacheKey{r.h, tauAll}, vals, gen)
+			}
+			r.done <- result{all: vals}
+			continue
+		}
+		v := row[r.tau]
+		if e.cache != nil {
+			e.cache.Put(cacheKey{r.h, r.tau}, []float64{v}, gen)
+		}
+		r.done <- result{val: v}
+	}
+}

@@ -1,0 +1,81 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cardnet/internal/core"
+)
+
+// ModelVersion pairs a model with its registry version (1 for the initial
+// model, incremented on every successful Swap).
+type ModelVersion struct {
+	Model   *core.Model
+	Version uint64
+}
+
+// Registry is a versioned store for the live serving model. Readers get the
+// current model with one atomic load; Swap installs a retrained model
+// atomically after validating shape compatibility, so in-flight batches
+// simply finish on the pointer they already hold — no request ever fails
+// because of a reload (the paper's Section 8 incremental-learning loop
+// deployed as an operation).
+type Registry struct {
+	cur atomic.Pointer[ModelVersion]
+
+	mu     sync.Mutex // serializes Swap and onSwap registration
+	onSwap []func()
+}
+
+// NewRegistry starts a registry at version 1 with the given model.
+func NewRegistry(m *core.Model) *Registry {
+	if m == nil {
+		panic("serving: nil initial model")
+	}
+	r := &Registry{}
+	r.cur.Store(&ModelVersion{Model: m, Version: 1})
+	mVersion.Set(1)
+	return r
+}
+
+// Current returns the live model and its version.
+func (r *Registry) Current() (*core.Model, uint64) {
+	mv := r.cur.Load()
+	return mv.Model, mv.Version
+}
+
+// OnSwap registers a callback invoked after every successful Swap (the
+// engine uses it to invalidate the estimate cache).
+func (r *Registry) OnSwap(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onSwap = append(r.onSwap, f)
+}
+
+// Swap validates that m is shape-compatible with the live model — same
+// input dimensionality and τ range, the contract clients encode against —
+// and atomically installs it, returning the new version. The replaced model
+// keeps serving any batch that already loaded it.
+func (r *Registry) Swap(m *core.Model) (uint64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("%w: nil model", ErrBadInput)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if m.InDim != cur.Model.InDim {
+		return 0, fmt.Errorf("%w: model in_dim %d, serving %d", ErrBadInput, m.InDim, cur.Model.InDim)
+	}
+	if m.Cfg.TauMax != cur.Model.Cfg.TauMax {
+		return 0, fmt.Errorf("%w: model tau_max %d, serving %d", ErrBadInput, m.Cfg.TauMax, cur.Model.Cfg.TauMax)
+	}
+	next := &ModelVersion{Model: m, Version: cur.Version + 1}
+	r.cur.Store(next)
+	mSwaps.Inc()
+	mVersion.Set(float64(next.Version))
+	for _, f := range r.onSwap {
+		f()
+	}
+	return next.Version, nil
+}

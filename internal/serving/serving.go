@@ -1,0 +1,60 @@
+// Package serving is the production inference engine around a trained
+// core.Model: it turns the paper's cheap CardNet-A forward pass (Section 7)
+// into a component a query optimizer can actually sit on top of under heavy
+// concurrent traffic, and wires the incremental-learning story (Section 8)
+// into a hot-swappable model registry.
+//
+// Four cooperating parts:
+//
+//   - Micro-batching: concurrent estimate requests are queued and coalesced
+//     into a single B×d forward pass through the shared Φ/Φ′ networks
+//     (core.EstimateAllTausBatch), flushed when the batch reaches
+//     Config.MaxBatch or the oldest request has waited Config.MaxWait.
+//     Batched results are bit-identical to the per-sample paths.
+//   - Admission control: a bounded queue with per-request context deadlines.
+//     When the queue is full, Estimate fails fast with ErrOverloaded (the
+//     HTTP layer maps it to 503) instead of piling up goroutines.
+//   - Estimate cache: a sharded LRU keyed on (hash(x), τ), invalidated on
+//     model swap via a generation counter so results computed against a
+//     replaced model can never be served afterwards.
+//   - Model registry: a versioned atomic pointer to the live model. Swap
+//     validates shape compatibility (InDim, TauMax) and replaces the model
+//     without failing in-flight requests — batches already formed finish on
+//     the model they started with.
+//
+// Everything is instrumented on obs.Default under the "serving." prefix.
+package serving
+
+import (
+	"errors"
+
+	"cardnet/internal/obs"
+)
+
+// Typed failures the HTTP layer maps to status codes.
+var (
+	// ErrOverloaded means the admission queue was full; the client should
+	// back off and retry (HTTP 503).
+	ErrOverloaded = errors.New("serving: overloaded, queue full")
+	// ErrClosed means the engine has shut down (HTTP 503 during drain).
+	ErrClosed = errors.New("serving: engine closed")
+	// ErrBadInput wraps request-validation failures (HTTP 400).
+	ErrBadInput = errors.New("serving: bad input")
+)
+
+// Engine and registry metrics, on the shared default registry so
+// `cardnet serve` /metrics exposes them without extra plumbing.
+var (
+	mQueueDepth    = obs.Default.Gauge("serving.queue.depth")
+	mRequests      = obs.Default.Counter("serving.requests")
+	mOverloaded    = obs.Default.Counter("serving.overloaded")
+	mExpired       = obs.Default.Counter("serving.expired")
+	mBatchSize     = obs.Default.Histogram("serving.batch.size", obs.LinearBuckets(1, 1, 64))
+	mFlushSize     = obs.Default.Counter("serving.batch.flush_size")
+	mFlushDeadline = obs.Default.Counter("serving.batch.flush_deadline")
+	mCacheHits     = obs.Default.Counter("serving.cache.hits")
+	mCacheMisses   = obs.Default.Counter("serving.cache.misses")
+	mCacheEvicts   = obs.Default.Counter("serving.cache.evictions")
+	mSwaps         = obs.Default.Counter("serving.registry.swaps")
+	mVersion       = obs.Default.Gauge("serving.registry.version")
+)
