@@ -36,6 +36,7 @@ import (
 	"cardnet/internal/metrics"
 	"cardnet/internal/obs"
 	"cardnet/internal/serving"
+	"cardnet/internal/simselect"
 )
 
 func main() {
@@ -56,6 +57,9 @@ func main() {
 	queueDepth := flag.Int("queue", 256, "serve: admission queue depth (full queue -> 503)")
 	workers := flag.Int("workers", 0, "serve: batch workers (0 = half the CPUs)")
 	cacheEntries := flag.Int("cache", 4096, "serve: estimate cache entries (negative disables)")
+	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve: fraction of requests whose traces are written to -tracelog")
+	traceLog := flag.String("tracelog", "off", `serve: JSONL request-trace log path ("off" = disabled)`)
+	auditRate := flag.Float64("audit-sample-rate", 0, "serve: fraction of estimates replayed against the exact oracle (Hamming datasets only; 0 = off)")
 	flag.Parse()
 
 	serveCfg := serving.Config{
@@ -138,7 +142,30 @@ func main() {
 		}
 	case "serve":
 		m := load(*modelPath)
-		if err := runServe(m, *addr, serveCfg); err != nil {
+		var opts serveOptions
+		closeTraces := func() {}
+		if *traceLog != "" && *traceLog != "off" {
+			sink, err := obs.NewFileSink(*traceLog)
+			if err != nil {
+				log.Fatalf("open trace log: %v", err)
+			}
+			closeTraces = func() {
+				if err := sink.Close(); err != nil {
+					log.Printf("close trace log: %v", err)
+				}
+			}
+			opts.sampler = obs.NewTraceSampler(*traceRate, sink)
+			log.Printf("writing sampled request traces to %s", *traceLog)
+		}
+		if *auditRate > 0 {
+			if oracle := buildAuditOracle(spec, *n, m.InDim); oracle != nil {
+				opts.oracle = oracle
+				opts.auditRate = *auditRate
+			}
+		}
+		err := runServe(m, *addr, serveCfg, opts)
+		closeTraces()
+		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 	case "obsbench":
@@ -190,8 +217,12 @@ func main() {
 		for _, b := range rep.Batched {
 			log.Printf("batch %2d   : %.0f est/s (%.2fx), identical=%v", b.Size, b.QPS, b.Speedup, b.Identical)
 		}
-		log.Printf("engine cache off/on: %.0f / %.0f req/s (hit ratio %.2f) -> %s",
-			rep.Engine.ColdQPS, rep.Engine.WarmQPS, rep.Engine.HitRatio, out)
+		log.Printf("engine cache off/on: %.0f / %.0f req/s (hit ratio %.2f)",
+			rep.Engine.ColdQPS, rep.Engine.WarmQPS, rep.Engine.HitRatio)
+		log.Printf("tracing overhead: p50 %+.2f%% (untraced %.0fus, traced %.0fus)",
+			rep.Tracing.OverheadP50Pct, rep.Tracing.Untraced.P50Micros, rep.Tracing.Traced.P50Micros)
+		log.Printf("queue wait p50/p95: %.0f/%.0fus, mean batch %.1f, flush mix %v -> %s",
+			rep.Tracing.QueueWaitP50Us, rep.Tracing.QueueWaitP95Us, rep.Tracing.MeanBatchSize, rep.Tracing.FlushMix, out)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -257,6 +288,31 @@ func trainLogHook(sink *obs.Sink, ds string) core.TrainHook {
 			log.Fatalf("write training log: %v", err)
 		}
 	}
+}
+
+// buildAuditOracle regenerates the dataset behind spec and wraps it in an
+// exact-count oracle for serve-time audit sampling. Only Hamming workloads
+// qualify: there the encoding is the identity, so the transformed-space
+// count the model is trained toward equals the true cardinality. A nil
+// return (with a logged reason) disables auditing rather than failing serve.
+func buildAuditOracle(spec dataset.Spec, n, inDim int) *simselect.EncodedOracle {
+	if spec.Kind != dataset.HM {
+		log.Printf("audit disabled: exact oracle needs a Hamming dataset (identity encoding), %s is %s", spec.Name, spec.Kind)
+		return nil
+	}
+	if n > 0 {
+		spec.N = n
+	}
+	oracle, err := simselect.NewEncodedOracleBits(dataset.Generate(spec).Bits)
+	if err != nil {
+		log.Printf("audit disabled: %v", err)
+		return nil
+	}
+	if oracle.Dim() != inDim {
+		log.Printf("audit disabled: dataset dim %d != model in_dim %d (model trained on a different dataset?)", oracle.Dim(), inDim)
+		return nil
+	}
+	return oracle
 }
 
 // loadModel reads a model file saved by saveModel (also the /admin/reload

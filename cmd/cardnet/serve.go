@@ -6,40 +6,79 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
+	"cardnet/internal/obs/monitor"
 	"cardnet/internal/serving"
+	"cardnet/internal/simselect"
 )
 
 // httpErrors counts non-2xx responses across all endpoints.
 var httpErrors = obs.Default.Counter("http.errors")
 
+// HTTP-side stages of the request trace plus the end-to-end histogram. The
+// engine owns cache/queue.wait/batch.form/forward; admission (parse +
+// validate) and write (response encoding) happen here. Because trace marks
+// tile the interval, the per-stage histograms sum to serving.e2e.seconds.
+var (
+	mStageAdmission = obs.Default.Histogram(serving.StageHistName(serving.StageAdmission), obs.TimeBuckets())
+	mStageWrite     = obs.Default.Histogram(serving.StageHistName(serving.StageWrite), obs.TimeBuckets())
+	mE2E            = obs.Default.Histogram("serving.e2e.seconds", obs.TimeBuckets())
+	mTraceSampled   = obs.Default.Counter("trace.sampled")
+	mAuditDropped   = obs.Default.Counter("audit.dropped")
+)
+
 // requestTimeout bounds how long one estimate may sit in the engine queue
 // plus forward pass before the server gives up on it.
 const requestTimeout = 2 * time.Second
 
+// serveOptions carries the observability add-ons of the serving mux; the
+// zero value (no trace log, no audit oracle) builds a monitor on demand so
+// /drift and /feedback always work.
+type serveOptions struct {
+	mon       *monitor.Monitor  // accuracy/drift monitor (nil → created)
+	sampler   *obs.TraceSampler // JSONL trace sampling (nil → off)
+	oracle    *simselect.EncodedOracle
+	auditRate float64 // fraction of estimates replayed against oracle
+}
+
 // runServe blocks serving the estimation API on addr until SIGINT/SIGTERM,
 // then shuts down gracefully: stop accepting connections, let in-flight
 // HTTP requests finish, and drain the engine's queued batches before exit.
-func runServe(m *core.Model, addr string, scfg serving.Config) error {
+func runServe(m *core.Model, addr string, scfg serving.Config, opts serveOptions) error {
+	if opts.mon == nil {
+		opts.mon = monitor.New(monitor.Config{}, obs.Default)
+	}
+	// Every τ-sweep the batch workers compute is checked against the Lemma 2
+	// monotonicity contract, and a model swap re-baselines the drift monitor.
+	scfg.CurveCheck = func(curve []float64) { opts.mon.CheckCurve(curve) }
 	reg := serving.NewRegistry(m)
+	reg.OnSwap(opts.mon.ResetBaseline)
 	eng := serving.NewEngine(reg, scfg)
 
 	log.Printf("serving CardNet (in_dim=%d tau_max=%d, %d KB) on %s", m.InDim, m.Cfg.TauMax, m.SizeBytes()/1024, addr)
-	log.Printf("endpoints: POST/GET /estimate, POST /admin/reload, /metrics, /healthz, /debug/pprof/")
+	log.Printf("endpoints: POST/GET /estimate, POST /feedback, POST /admin/reload, /metrics, /healthz, /drift, /debug/pprof/")
+	if opts.sampler != nil {
+		log.Printf("trace sampling: 1 in %d requests", opts.sampler.Every())
+	}
+	if opts.oracle != nil && opts.auditRate > 0 {
+		log.Printf("audit sampling: rate %g against exact oracle over %d records", opts.auditRate, opts.oracle.Len())
+	}
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           newServeMux(eng),
+		Handler:           newServeMux(eng, opts),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -71,11 +110,17 @@ func runServe(m *core.Model, addr string, scfg serving.Config) error {
 
 // newServeMux builds the serving handler tree (separated from runServe for
 // httptest coverage).
-func newServeMux(eng *serving.Engine) *http.ServeMux {
+func newServeMux(eng *serving.Engine, opts serveOptions) *http.ServeMux {
+	if opts.mon == nil {
+		opts.mon = monitor.New(monitor.Config{}, obs.Default)
+	}
+	aud := newAuditor(opts.oracle, opts.mon, opts.auditRate)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(eng)))
+	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(eng, opts.sampler, aud)))
+	mux.HandleFunc("/feedback", instrument("http.feedback", handleFeedback(eng, opts.mon)))
 	mux.HandleFunc("/admin/reload", instrument("http.reload", handleReload(eng)))
-	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng)))
+	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng, opts.mon)))
+	mux.HandleFunc("/drift", instrument("http.drift", handleDrift(eng, opts.mon)))
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -110,41 +155,113 @@ type estimateResponse struct {
 	TauMax    int       `json:"tau_max"`
 }
 
-func handleEstimate(eng *serving.Engine) http.HandlerFunc {
+func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Every response carries the trace ID, sampled or not, so an operator
+		// can correlate a slow client-side call with the JSONL trace log.
+		tr := obs.NewTrace()
+		w.Header().Set("X-Trace-Id", tr.ID)
+		finish := func() {
+			mStageWrite.ObserveDuration(tr.Mark(serving.StageWrite))
+			mE2E.ObserveDuration(tr.Total())
+			if sampler.Sample() {
+				mTraceSampled.Inc()
+				sampler.Emit(tr)
+			}
+		}
+
 		req, err := parseEstimateRequest(r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
+			finish()
 			return
 		}
-		m, _ := eng.Registry().Current()
+		m, version := eng.Registry().Current()
 		if err := validateEstimateRequest(req, m); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
+			finish()
 			return
 		}
+		mStageAdmission.ObserveDuration(tr.Mark(serving.StageAdmission))
+		tr.Annotate("model_version", version)
 		ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
 		defer cancel()
 
 		resp := estimateResponse{TauMax: m.Cfg.TauMax}
 		if req.All {
-			ests, err := eng.EstimateAll(ctx, req.X)
+			ests, err := eng.EstimateAllTraced(ctx, req.X, tr)
 			if err != nil {
 				httpEngineError(w, err)
+				finish()
 				return
 			}
 			resp.Estimates = ests
 			resp.Tau = m.Cfg.TauMax
 		} else {
-			v, err := eng.Estimate(ctx, req.X, *req.Tau)
+			v, err := eng.EstimateTraced(ctx, req.X, *req.Tau, tr)
 			if err != nil {
 				httpEngineError(w, err)
+				finish()
 				return
 			}
 			resp.Estimate = &v
 			resp.Tau = *req.Tau
+			aud.observe(req.X, *req.Tau, v)
 		}
 		writeJSON(w, resp)
+		finish()
 	}
+}
+
+// auditor replays a sampled fraction of live estimates against an exact
+// simselect oracle off the request path, feeding the resulting q-errors to
+// the drift monitor as Audit samples — ground truth without waiting for
+// labelled feedback. In-flight replays are bounded; excess samples are
+// dropped (and counted) rather than queued behind the oracle scan.
+type auditor struct {
+	oracle *simselect.EncodedOracle
+	mon    *monitor.Monitor
+	every  uint64
+	seq    atomic.Uint64
+	sem    chan struct{}
+}
+
+// newAuditor returns nil (auditing off) unless an oracle, a monitor, and a
+// rate in (0, 1] are all present. Like the trace sampler, sampling is
+// counter-based: 1 in round(1/rate) estimates.
+func newAuditor(oracle *simselect.EncodedOracle, mon *monitor.Monitor, rate float64) *auditor {
+	if oracle == nil || mon == nil || rate <= 0 || rate > 1 {
+		return nil
+	}
+	every := uint64(1/rate + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	return &auditor{oracle: oracle, mon: mon, every: every, sem: make(chan struct{}, 4)}
+}
+
+// observe maybe replays one served estimate. Nil-safe; never blocks the
+// request path. The x slice is safe to share: the handler stops touching it
+// once the response is built.
+func (a *auditor) observe(x []float64, tau int, estimate float64) {
+	if a == nil || a.seq.Add(1)%a.every != 0 {
+		return
+	}
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		mAuditDropped.Inc()
+		return
+	}
+	go func() {
+		defer func() { <-a.sem }()
+		actual, err := a.oracle.CountEncoded(x, tau)
+		if err != nil {
+			mAuditDropped.Inc()
+			return
+		}
+		a.mon.Record(float64(actual), estimate, monitor.Audit)
+	}()
 }
 
 // parseEstimateRequest decodes the wire formats; semantic checks live in
@@ -212,6 +329,71 @@ func validateEstimateRequest(req *estimateRequest, m *core.Model) error {
 	return nil
 }
 
+// feedbackRequest is the POST /feedback body: a query the caller executed
+// for real, with the actual cardinality observed. The server re-estimates it
+// and folds the q-error into the drift monitor.
+type feedbackRequest struct {
+	X      []float64 `json:"x"`
+	Tau    *int      `json:"tau"`
+	Actual *float64  `json:"actual"`
+}
+
+func handleFeedback(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req feedbackRequest
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+			return
+		}
+		m, _ := eng.Registry().Current()
+		if err := validateEstimateRequest(&estimateRequest{X: req.X, Tau: req.Tau}, m); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Actual == nil {
+			httpError(w, http.StatusBadRequest, `"actual" is required`)
+			return
+		}
+		if *req.Actual < 0 || math.IsNaN(*req.Actual) || math.IsInf(*req.Actual, 0) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("actual %v, want a finite non-negative count", *req.Actual))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
+		defer cancel()
+		est, err := eng.Estimate(ctx, req.X, *req.Tau)
+		if err != nil {
+			httpEngineError(w, err)
+			return
+		}
+		q := mon.Record(*req.Actual, est, monitor.Feedback)
+		writeJSON(w, map[string]any{
+			"estimate": est,
+			"actual":   *req.Actual,
+			"tau":      *req.Tau,
+			"qerror":   q,
+			"drift":    mon.Status().Status,
+		})
+	}
+}
+
+// handleDrift reports the monitor's view of model quality: rolling q-error
+// quantiles, EWMA vs the post-load baseline, monotonicity-violation counts,
+// and the ok/warn/retrain-recommended verdict.
+func handleDrift(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_, version := eng.Registry().Current()
+		writeJSON(w, struct {
+			monitor.Status
+			ModelVersion uint64 `json:"model_version"`
+		}{mon.Status(), version})
+	}
+}
+
 // reloadRequest is the POST /admin/reload body: the path of a model file
 // saved by `cardnet -mode train` / `-mode update`.
 type reloadRequest struct {
@@ -259,11 +441,12 @@ func handleReload(eng *serving.Engine) http.HandlerFunc {
 	}
 }
 
-func handleHealthz(eng *serving.Engine) http.HandlerFunc {
+func handleHealthz(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		m, version := eng.Registry().Current()
 		writeJSON(w, map[string]any{
 			"status":        "ok",
+			"drift":         mon.Status().Status,
 			"in_dim":        m.InDim,
 			"tau_max":       m.Cfg.TauMax,
 			"tau_top":       m.TauTop,
@@ -275,8 +458,23 @@ func handleHealthz(eng *serving.Engine) http.HandlerFunc {
 	}
 }
 
-// handleMetrics dumps the obs default registry as expvar-style JSON.
+// handleMetrics dumps the obs default registry: expvar-style JSON by
+// default, Prometheus text exposition format 0.0.4 when the Accept header
+// asks for text/plain or OpenMetrics (so a stock Prometheus scraper works
+// against the same endpoint with no config beyond the target).
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			httpErrors.Inc()
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := obs.Default.WriteJSON(w); err != nil {
 		httpErrors.Inc()

@@ -36,7 +36,7 @@ func tinyModel(seed int64) *core.Model {
 func newTestServer(t *testing.T, m *core.Model, cfg serving.Config) (*httptest.Server, *serving.Engine) {
 	t.Helper()
 	eng := serving.NewEngine(serving.NewRegistry(m), cfg)
-	ts := httptest.NewServer(newServeMux(eng))
+	ts := httptest.NewServer(newServeMux(eng, serveOptions{}))
 	t.Cleanup(func() { ts.Close(); eng.Close() })
 	return ts, eng
 }
@@ -208,7 +208,7 @@ func TestServeEstimateValidation(t *testing.T) {
 func TestServeUnavailableAfterEngineClose(t *testing.T) {
 	m := tinyModel(3)
 	eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{})
-	ts := httptest.NewServer(newServeMux(eng))
+	ts := httptest.NewServer(newServeMux(eng, serveOptions{}))
 	defer ts.Close()
 	eng.Close()
 
@@ -456,6 +456,12 @@ func TestServeBenchReport(t *testing.T) {
 	if rep.Engine.HitRatio <= 0 {
 		t.Fatalf("warm run recorded no cache hits: %+v", rep.Engine)
 	}
+	if rep.Tracing.Traced.Calls == 0 || rep.Tracing.Untraced.Calls == 0 {
+		t.Fatalf("tracing bench empty: %+v", rep.Tracing)
+	}
+	if rep.Tracing.MeanBatchSize <= 0 {
+		t.Fatalf("tracing bench recorded no batch sizes: %+v", rep.Tracing)
+	}
 	path := t.TempDir() + "/BENCH_serving.json"
 	if err := rep.write(path); err != nil {
 		t.Fatal(err)
@@ -470,6 +476,9 @@ func TestServeBenchReport(t *testing.T) {
 	}
 	if len(back.Batched) != len(rep.Batched) {
 		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.Tracing.Traced.Calls != rep.Tracing.Traced.Calls {
+		t.Fatalf("tracing round trip mismatch: %+v", back.Tracing)
 	}
 }
 

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
+	"cardnet/internal/obs/monitor"
 	"cardnet/internal/serving"
 	"cardnet/internal/tensor"
 )
@@ -35,6 +37,21 @@ type engineBench struct {
 	HitRatio float64 `json:"hit_ratio"`
 }
 
+// traceBench quantifies the request-tracing layer. Every request pays the
+// trace marks (sampling only gates JSONL emission), so the honest cost is
+// traced-vs-untraced per-request latency through the engine; the traces in
+// turn yield the per-stage breakdown an operator reads off /metrics:
+// queue-wait quantiles, mean formed-batch size, and the flush-reason mix.
+type traceBench struct {
+	Untraced       latencyStats      `json:"untraced"`
+	Traced         latencyStats      `json:"traced"`
+	OverheadP50Pct float64           `json:"overhead_p50_pct"`
+	QueueWaitP50Us float64           `json:"queue_wait_p50_us"`
+	QueueWaitP95Us float64           `json:"queue_wait_p95_us"`
+	MeanBatchSize  float64           `json:"mean_batch_size"`
+	FlushMix       map[string]uint64 `json:"flush_mix"`
+}
+
 // serveBenchReport is the results/BENCH_serving.json schema.
 type serveBenchReport struct {
 	Dataset    string `json:"dataset"`
@@ -48,6 +65,7 @@ type serveBenchReport struct {
 	} `json:"per_request"`
 	Batched []batchPoint `json:"batched"`
 	Engine  engineBench  `json:"engine"`
+	Tracing traceBench   `json:"tracing"`
 }
 
 // runServeBench measures the three levers of the serving subsystem: the
@@ -107,7 +125,163 @@ func runServeBench(m *core.Model, testX *tensor.Matrix, calls int) (*serveBenchR
 		return nil, err
 	}
 	rep.Engine = *eng
+
+	tb, err := benchTracing(m, testX, calls, tauOf)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tracing = *tb
 	return rep, nil
+}
+
+// benchTracing drives two otherwise-identical engines — one with per-request
+// traces plus the drift monitor's curve check attached, one bare — in
+// alternating rounds (so frequency/thermal drift averages out) and compares
+// per-request latency. The cache is disabled so every request walks the full
+// queue → batch → forward path the traces decompose.
+func benchTracing(m *core.Model, testX *tensor.Matrix, calls int, tauOf func(int) int) (*traceBench, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	cfg := serving.Config{
+		MaxBatch:     32,
+		MaxWait:      200 * time.Microsecond,
+		QueueDepth:   4096,
+		CacheEntries: -1,
+	}
+	mon := monitor.New(monitor.Config{}, obs.NewRegistry())
+	tcfg := cfg
+	tcfg.CurveCheck = func(curve []float64) { mon.CheckCurve(curve) }
+	engU := serving.NewEngine(serving.NewRegistry(m), cfg)
+	defer engU.Close()
+	engT := serving.NewEngine(serving.NewRegistry(m), tcfg)
+	defer engT.Close()
+
+	// run fires one round of concurrent traffic; for the traced engine it
+	// also harvests queue-wait durations and formed-batch sizes per request.
+	run := func(eng *serving.Engine, traced bool, n int) (lats, waits, sizes []float64, err error) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		per := n / workers
+		if per < 1 {
+			per = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := make([]float64, 0, per)
+				qw := make([]float64, 0, per)
+				bs := make([]float64, 0, per)
+				for i := 0; i < per; i++ {
+					q := (w*per + i) % testX.Rows
+					x, tau := testX.Row(q), tauOf(q)
+					t0 := time.Now()
+					if traced {
+						tr := obs.NewTrace()
+						if _, err := eng.EstimateTraced(context.Background(), x, tau, tr); err != nil {
+							errc <- err
+							return
+						}
+						l = append(l, float64(time.Since(t0).Nanoseconds())/1e3)
+						for _, s := range tr.Stages() {
+							if s.Name == serving.StageQueueWait {
+								qw = append(qw, s.Us)
+							}
+						}
+						if b, ok := tr.Fields()["batch_size"].(int); ok {
+							bs = append(bs, float64(b))
+						}
+					} else {
+						if _, err := eng.Estimate(context.Background(), x, tau); err != nil {
+							errc <- err
+							return
+						}
+						l = append(l, float64(time.Since(t0).Nanoseconds())/1e3)
+					}
+				}
+				mu.Lock()
+				lats = append(lats, l...)
+				waits = append(waits, qw...)
+				sizes = append(sizes, bs...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return nil, nil, nil, err
+		default:
+		}
+		return lats, waits, sizes, nil
+	}
+
+	if _, _, _, err := run(engU, false, calls/4); err != nil { // warmup
+		return nil, err
+	}
+	flush0 := flushCounts()
+
+	const rounds = 8
+	chunk := calls / rounds
+	var un, tr, waits, sizes []float64
+	for r := 0; r < rounds; r++ {
+		u, _, _, err := run(engU, false, chunk)
+		if err != nil {
+			return nil, err
+		}
+		un = append(un, u...)
+		tl, w, b, err := run(engT, true, chunk)
+		if err != nil {
+			return nil, err
+		}
+		tr = append(tr, tl...)
+		waits = append(waits, w...)
+		sizes = append(sizes, b...)
+	}
+	flush1 := flushCounts()
+
+	out := &traceBench{
+		Untraced: summarize(un),
+		Traced:   summarize(tr),
+		FlushMix: map[string]uint64{},
+	}
+	out.OverheadP50Pct = overheadPct(out.Traced.P50Micros, out.Untraced.P50Micros)
+	for k, v := range flush1 {
+		out.FlushMix[k] = v - flush0[k]
+	}
+	if len(waits) > 0 {
+		sort.Float64s(waits)
+		out.QueueWaitP50Us = pickQuantile(waits, 0.50)
+		out.QueueWaitP95Us = pickQuantile(waits, 0.95)
+	}
+	if len(sizes) > 0 {
+		var s float64
+		for _, v := range sizes {
+			s += v
+		}
+		out.MeanBatchSize = s / float64(len(sizes))
+	}
+	return out, nil
+}
+
+// flushCounts snapshots the engine's flush-reason counters.
+func flushCounts() map[string]uint64 {
+	return map[string]uint64{
+		serving.FlushSize:     obs.Default.Counter("serving.batch.flush_size").Value(),
+		serving.FlushDeadline: obs.Default.Counter("serving.batch.flush_deadline").Value(),
+		serving.FlushShutdown: obs.Default.Counter("serving.batch.flush_shutdown").Value(),
+	}
+}
+
+// pickQuantile picks the nearest-rank quantile from a sorted slice.
+func pickQuantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // verifyBatchIdentical checks byte-for-byte equality of the batched and

@@ -278,6 +278,24 @@ func spotCheckMonotone(ci []float64) {
 	}
 }
 
+// CurveMonotone reports whether a served τ-sweep estimate curve upholds the
+// Lemma 2 contract: every value finite and non-negative, and the sequence
+// non-decreasing in τ. Prefix sums of the (ReLU-bounded) decoder outputs
+// satisfy this by construction, so a false return means numerical corruption
+// (NaN/Inf weights) — the signal the serving-layer drift monitor counts as a
+// monotonicity violation. The comparison is exact: adding a non-negative
+// float64 term never decreases a sum, so no epsilon is needed.
+func CurveMonotone(curve []float64) bool {
+	prev := math.Inf(-1)
+	for _, v := range curve {
+		if v < prev || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
 // EstimateAllTaus returns the estimate at every τ in [0, TauMax] for one
 // encoded query with a single forward pass (the prefix sums of ĉᵢ).
 func (m *Model) EstimateAllTaus(x []float64) []float64 {

@@ -52,16 +52,23 @@ func MeanQError(actual, estimated []float64) float64 {
 	}
 	var s float64
 	for i, c := range actual {
-		e := estimated[i]
-		if c < 1 {
-			c = 1
-		}
-		if e < 1 {
-			e = 1
-		}
-		s += math.Max(c/e, e/c)
+		s += QError(c, estimated[i])
 	}
 	return s / float64(len(actual))
+}
+
+// QError returns the q-error of a single (actual, estimate) pair:
+// max(c/ĉ, ĉ/c) with both counts floored at one, so zero cardinalities and
+// zero estimates stay finite. Always ≥ 1; the serving-layer drift monitor
+// accumulates these online.
+func QError(actual, estimated float64) float64 {
+	if actual < 1 {
+		actual = 1
+	}
+	if estimated < 1 {
+		estimated = 1
+	}
+	return math.Max(actual/estimated, estimated/actual)
 }
 
 // Report bundles the three headline accuracy metrics.

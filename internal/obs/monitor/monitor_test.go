@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cardnet/internal/obs"
+)
+
+func newTestMonitor(cfg Config) (*Monitor, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return New(cfg, reg), reg
+}
+
+func TestMonitorBaselineAndDriftTransitions(t *testing.T) {
+	m, reg := newTestMonitor(Config{BaselineN: 8, EWMAAlpha: 0.5, WarnFactor: 1.5, RetrainFactor: 2.5})
+
+	// Healthy phase: estimates within 10% of actuals → baseline q-error ≈ 1.1.
+	for i := 0; i < 8; i++ {
+		m.Record(100, 110, Feedback)
+	}
+	st := m.Status()
+	if !st.BaselineReady || st.Status != StatusOK {
+		t.Fatalf("after baseline: %+v", st)
+	}
+	if st.Baseline < 1.05 || st.Baseline > 1.15 {
+		t.Fatalf("baseline %.3f, want ~1.1", st.Baseline)
+	}
+
+	// Mild degradation: q-error ~1.8 vs baseline 1.1 → ratio ~1.6 → warn.
+	for i := 0; i < 16; i++ {
+		m.Record(100, 180, Feedback)
+	}
+	if st = m.Status(); st.Status != StatusWarn {
+		t.Fatalf("after mild drift: %+v", st)
+	}
+
+	// Heavy drift: q-error 10 → ratio ≫ 2.5 → retrain-recommended.
+	for i := 0; i < 16; i++ {
+		m.Record(100, 1000, Feedback)
+	}
+	if st = m.Status(); st.Status != StatusRetrain {
+		t.Fatalf("after heavy drift: %+v", st)
+	}
+	if st.P50 < 1 || st.P99 < st.P50 {
+		t.Fatalf("quantiles out of order: %+v", st)
+	}
+
+	// Gauges mirror the drift level for /metrics scrapes.
+	if reg.Gauge("monitor.drift.level").Value() != 2 {
+		t.Fatalf("drift.level gauge = %v, want 2", reg.Gauge("monitor.drift.level").Value())
+	}
+
+	// A model swap re-baselines: post-swap accuracy defines the new normal.
+	m.ResetBaseline()
+	st = m.Status()
+	if st.BaselineReady || st.Status != StatusOK || st.Samples != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	for i := 0; i < 8; i++ {
+		m.Record(100, 1000, Audit) // terrible but *consistent* → new baseline
+	}
+	if st = m.Status(); st.Status != StatusOK {
+		t.Fatalf("consistent post-swap accuracy should be ok: %+v", st)
+	}
+	if st.Audits != 8 {
+		t.Fatalf("audit samples = %d, want 8", st.Audits)
+	}
+}
+
+func TestMonitorNearPerfectBaselineNoisy(t *testing.T) {
+	// A near-perfect baseline (q≈1) must not page on small absolute noise:
+	// the ratio floor at q=1 means EWMA must exceed WarnFactor in absolute
+	// terms.
+	m, _ := newTestMonitor(Config{BaselineN: 4, EWMAAlpha: 0.5})
+	for i := 0; i < 4; i++ {
+		m.Record(100, 100, Feedback) // q = 1
+	}
+	for i := 0; i < 8; i++ {
+		m.Record(100, 120, Feedback) // q = 1.2 < WarnFactor 1.5
+	}
+	if st := m.Status(); st.Status != StatusOK {
+		t.Fatalf("q=1.2 over perfect baseline should stay ok: %+v", st)
+	}
+	for i := 0; i < 8; i++ {
+		m.Record(100, 180, Feedback) // q = 1.8 ≥ 1.5
+	}
+	if st := m.Status(); st.Status != StatusWarn {
+		t.Fatalf("q=1.8 over perfect baseline should warn: %+v", st)
+	}
+}
+
+func TestMonitorCheckCurve(t *testing.T) {
+	m, reg := newTestMonitor(Config{})
+	good := []float64{0, 1, 1, 2.5, 7}
+	bad := [][]float64{
+		{0, 2, 1},           // decreasing
+		{0, 1, math.NaN()},  // NaN
+		{0, 1, math.Inf(1)}, // Inf
+		{-1, 0, 1},          // negative
+	}
+	if !m.CheckCurve(good) {
+		t.Fatal("monotone curve flagged")
+	}
+	for _, c := range bad {
+		if m.CheckCurve(c) {
+			t.Fatalf("violating curve %v passed", c)
+		}
+	}
+	if got := reg.Counter("monitor.mono.violations").Value(); got != uint64(len(bad)) {
+		t.Fatalf("violations = %d, want %d", got, len(bad))
+	}
+	if got := reg.Counter("monitor.mono.checks").Value(); got != uint64(len(bad)+1) {
+		t.Fatalf("checks = %d, want %d", got, len(bad)+1)
+	}
+}
+
+func TestMonitorWindowRolls(t *testing.T) {
+	m, _ := newTestMonitor(Config{Window: 16, BaselineN: 4})
+	for i := 0; i < 100; i++ {
+		m.Record(100, 100, Feedback)
+	}
+	// Window holds only the last 16; the q=1 flood must have evicted nothing
+	// worse, so quantiles are exactly 1.
+	for i := 0; i < 200; i++ {
+		m.Record(1, 1, Feedback)
+	}
+	st := m.Status()
+	if st.Samples != 16 {
+		t.Fatalf("window samples = %d, want 16", st.Samples)
+	}
+	if st.P50 != 1 || st.P99 != 1 {
+		t.Fatalf("quantiles %+v", st)
+	}
+	if st.Feedback != 300 {
+		t.Fatalf("feedback total = %d, want 300", st.Feedback)
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	m, _ := newTestMonitor(Config{Window: 64, BaselineN: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					m.Record(float64(10+i%50), float64(12+i%40), Feedback)
+				case 1:
+					m.CheckCurve([]float64{0, 1, 2})
+				default:
+					m.Status()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Status()
+	if st.MonoViolations != 0 {
+		t.Fatalf("false violations under concurrency: %+v", st)
+	}
+	if st.EWMA <= 0 || math.IsNaN(st.EWMA) {
+		t.Fatalf("EWMA corrupted: %+v", st)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition content type served by
+// /metrics when the scraper asks for it.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4), with no dependency on the
+// Prometheus client library. Metric names are sanitized ('.' and any other
+// invalid rune become '_'), output is sorted by metric name so the format is
+// deterministic, histograms emit cumulative buckets with a trailing +Inf
+// bucket plus _sum and _count series, and counters carry a _total suffix per
+// the naming convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make(map[string]uint64, len(r.counts))
+	for name, c := range r.counts {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make([]hist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, hist{name, h})
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(counters) {
+		pn := PromName(name) + "_total"
+		writeHeader(bw, pn, "counter", "counter "+name)
+		bw.WriteString(pn)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(counters[name], 10))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := PromName(name)
+		writeHeader(bw, pn, "gauge", "gauge "+name)
+		bw.WriteString(pn)
+		bw.WriteByte(' ')
+		bw.WriteString(formatPromValue(gauges[name]))
+		bw.WriteByte('\n')
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, e := range hists {
+		pn := PromName(e.name)
+		writeHeader(bw, pn, "histogram", "histogram "+e.name)
+		s := e.h.Snapshot()
+		for _, b := range s.Buckets {
+			bw.WriteString(pn)
+			bw.WriteString(`_bucket{le="`)
+			bw.WriteString(escapeLabel(formatPromValue(b.UpperBound)))
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatUint(b.Count, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(pn)
+		bw.WriteString(`_bucket{le="+Inf"} `)
+		bw.WriteString(strconv.FormatUint(s.Count, 10))
+		bw.WriteByte('\n')
+		bw.WriteString(pn)
+		bw.WriteString("_sum ")
+		bw.WriteString(formatPromValue(s.Sum))
+		bw.WriteByte('\n')
+		bw.WriteString(pn)
+		bw.WriteString("_count ")
+		bw.WriteString(strconv.FormatUint(s.Count, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, name, typ, help string) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(escapeHelp(help))
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(typ)
+	bw.WriteByte('\n')
+}
+
+// PromName sanitizes a registry metric name into the Prometheus metric name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune maps to '_' and a
+// leading digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, newline, double quote.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// ParsePrometheus parses text-exposition output back into a flat map of
+// series id ("name" or `name{le="…"}`) → value. It is a round-trip
+// validator for tests and scrape self-checks, not a general openmetrics
+// parser: it enforces the 0.0.4 line grammar this package emits (comment
+// lines, one sample per line, a parseable float value, a valid metric name).
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp <= 0 || sp == len(text)-1 {
+			return nil, parseErr(line, "no value", text)
+		}
+		series, val := text[:sp], text[sp+1:]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, parseErr(line, "unterminated label set", text)
+			}
+			name = series[:i]
+		}
+		if PromName(name) != name || name == "" {
+			return nil, parseErr(line, "invalid metric name", text)
+		}
+		v, err := strconv.ParseFloat(strings.Replace(val, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			return nil, parseErr(line, "bad value", text)
+		}
+		if _, dup := out[series]; dup {
+			return nil, parseErr(line, "duplicate series", text)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseErr(line int, msg, text string) error {
+	return &promParseError{line: line, msg: msg, text: text}
+}
+
+type promParseError struct {
+	line int
+	msg  string
+	text string
+}
+
+func (e *promParseError) Error() string {
+	return "obs: prometheus parse line " + strconv.Itoa(e.line) + ": " + e.msg + ": " + e.text
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

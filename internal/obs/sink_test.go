@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Parallel Emit from many goroutines (the batch workers + HTTP handlers
+// sharing one trace sink) must serialize into valid JSONL: every line a
+// complete JSON object, no interleaved partial writes, no lost events.
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf)
+
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := sink.Emit("trace", map[string]any{
+					"goroutine": g,
+					"seq":       i,
+					"payload":   fmt.Sprintf("g%d-i%d", g, i),
+				})
+				if err != nil {
+					t.Errorf("emit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, goroutines*perG)
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Event     string `json:"event"`
+			TS        string `json:"ts"`
+			Goroutine int    `json:"goroutine"`
+			Seq       int    `json:"seq"`
+			Payload   string `json:"payload"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON (%v): %q", lines, err, sc.Text())
+		}
+		if rec.Event != "trace" || rec.TS == "" {
+			t.Fatalf("line %d missing reserved fields: %q", lines, sc.Text())
+		}
+		want := fmt.Sprintf("g%d-i%d", rec.Goroutine, rec.Seq)
+		if rec.Payload != want {
+			t.Fatalf("line %d payload %q, want %q", lines, rec.Payload, want)
+		}
+		if seen[want] {
+			t.Fatalf("event %s emitted twice", want)
+		}
+		seen[want] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != goroutines*perG {
+		t.Fatalf("%d JSONL lines, want %d (events lost or split)", lines, goroutines*perG)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's journey through the serving pipeline: a process-
+// unique ID, a start time, and an ordered list of named stages whose
+// durations tile the interval from Start to the last Mark exactly — every
+// nanosecond between two marks is attributed to the later stage, so the
+// per-stage histograms built from traces sum to the end-to-end latency by
+// construction.
+//
+// A trace is handed between goroutines (HTTP handler → batch worker → HTTP
+// handler); each hand-off happens-before the next mark via the engine's
+// channels, and a mutex covers the one racy edge case (a caller abandoning a
+// request on context expiry while a worker still holds its trace).
+type Trace struct {
+	ID    string
+	Start time.Time
+
+	mu     sync.Mutex
+	last   time.Time
+	stages []TraceStage
+	attrs  map[string]any
+}
+
+// TraceStage is one completed pipeline stage.
+type TraceStage struct {
+	Name string  `json:"stage"`
+	Us   float64 `json:"us"` // stage duration in microseconds
+}
+
+// traceSeq seeds trace IDs; the process start time makes IDs unique across
+// restarts, the counter makes them unique within one.
+var traceSeq atomic.Uint64
+
+func init() { traceSeq.Store(uint64(time.Now().UnixNano())) }
+
+// NewTrace starts a trace now with a fresh ID.
+func NewTrace() *Trace {
+	now := time.Now()
+	return &Trace{ID: traceID(), Start: now, last: now}
+}
+
+// traceID returns a 16-hex-digit process-unique ID (a splitmix64 step over a
+// time-seeded counter — cheap, collision-free within the process, and with
+// no global lock on the hot path).
+func traceID() string {
+	z := traceSeq.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[z&0xf]
+		z >>= 4
+	}
+	return string(b[:])
+}
+
+// Mark closes the stage running since the previous mark (or Start) and
+// returns its duration.
+func (t *Trace) Mark(name string) time.Duration {
+	return t.MarkAt(name, time.Now())
+}
+
+// MarkAt closes the stage at an explicit end instant, so a batch worker can
+// split one observed interval into queue-wait and batch-formation stages at
+// the moment the batch started forming. Ends before the previous mark (the
+// abandoned-request race) clamp to a zero-length stage.
+func (t *Trace) MarkAt(name string, end time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := end.Sub(t.last)
+	if d < 0 {
+		d = 0
+		end = t.last
+	}
+	t.last = end
+	t.stages = append(t.stages, TraceStage{Name: name, Us: float64(d.Nanoseconds()) / 1e3})
+	return d
+}
+
+// Annotate attaches a key/value to the trace (batch size, flush reason,
+// cache hit/miss, model version, …).
+func (t *Trace) Annotate(key string, v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]any, 4)
+	}
+	t.attrs[key] = v
+}
+
+// Total returns the traced interval: Start to the last mark.
+func (t *Trace) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last.Sub(t.Start)
+}
+
+// Stages returns a copy of the completed stages.
+func (t *Trace) Stages() []TraceStage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceStage(nil), t.stages...)
+}
+
+// Fields renders the trace as a Sink event payload: id, total, the ordered
+// stages, and every annotation (annotations are copied, so the caller may
+// keep mutating the trace).
+func (t *Trace) Fields() map[string]any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := map[string]any{
+		"trace_id": t.ID,
+		"total_us": float64(t.last.Sub(t.Start).Nanoseconds()) / 1e3,
+		"stages":   append([]TraceStage(nil), t.stages...),
+	}
+	for k, v := range t.attrs {
+		f[k] = v
+	}
+	return f
+}
+
+// TraceSampler emits every Nth trace to a JSONL sink: rate 0.01 means one
+// trace in 100. Counter-based sampling is deterministic, cheap (one atomic
+// add per request), and free of RNG locks on the hot path.
+type TraceSampler struct {
+	every uint64
+	seq   atomic.Uint64
+	sink  *Sink
+}
+
+// NewTraceSampler builds a sampler writing to sink at the given rate. A nil
+// sink, or a rate outside (0, 1], yields a nil sampler (sampling off); rates
+// are rounded to 1-in-round(1/rate).
+func NewTraceSampler(rate float64, sink *Sink) *TraceSampler {
+	if sink == nil || rate <= 0 || rate > 1 {
+		return nil
+	}
+	every := uint64(1/rate + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	return &TraceSampler{every: every, sink: sink}
+}
+
+// Sample reports whether the current request should be emitted, advancing
+// the sampling sequence. Nil-safe.
+func (s *TraceSampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.seq.Add(1)%s.every == 0
+}
+
+// Emit writes one trace as a "trace" event. Nil-safe.
+func (s *TraceSampler) Emit(t *Trace) error {
+	if s == nil || t == nil {
+		return nil
+	}
+	return s.sink.Emit("trace", t.Fields())
+}
+
+// Every returns the sampling stride (0 for a nil sampler), for reporting the
+// effective rate back to the operator.
+func (s *TraceSampler) Every() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}

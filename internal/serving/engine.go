@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"cardnet/internal/obs"
 	"cardnet/internal/tensor"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// CacheShards is the cache shard count, rounded up to a power of two
 	// (default 8).
 	CacheShards int
+	// CurveCheck, when set, receives every freshly computed τ-sweep estimate
+	// curve (cache hits are not re-checked). The drift monitor wires its
+	// monotonicity validator here. The callback must not retain the slice and
+	// must be cheap: it runs on the batch worker's hot path.
+	CurveCheck func(curve []float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +73,9 @@ type request struct {
 	all  bool
 	h    uint64 // hash of x, set when the cache is enabled
 	done chan result
+
+	tr  *obs.Trace // optional request trace (nil when untraced)
+	enq time.Time  // when submit enqueued the request (for queue-wait)
 }
 
 type result struct {
@@ -126,6 +135,13 @@ func (e *Engine) CacheLen() int {
 // after Close, ErrBadInput on shape/τ violations, and the context error when
 // ctx expires first.
 func (e *Engine) Estimate(ctx context.Context, x []float64, tau int) (float64, error) {
+	return e.EstimateTraced(ctx, x, tau, nil)
+}
+
+// EstimateTraced is Estimate carrying an optional request trace: the engine
+// marks the cache, queue.wait, batch.form, and forward stages on it and
+// annotates batch size and flush reason. A nil trace costs nothing.
+func (e *Engine) EstimateTraced(ctx context.Context, x []float64, tau int, tr *obs.Trace) (float64, error) {
 	m, _ := e.reg.Current()
 	if len(x) != m.InDim {
 		return 0, fmt.Errorf("%w: x has %d features, model expects %d", ErrBadInput, len(x), m.InDim)
@@ -134,10 +150,12 @@ func (e *Engine) Estimate(ctx context.Context, x []float64, tau int) (float64, e
 		return 0, fmt.Errorf("%w: tau %d outside [0, %d]", ErrBadInput, tau, m.Cfg.TauMax)
 	}
 	mRequests.Inc()
-	r := &request{ctx: ctx, x: x, tau: tau, done: make(chan result, 1)}
+	r := &request{ctx: ctx, x: x, tau: tau, done: make(chan result, 1), tr: tr}
 	if e.cache != nil {
 		r.h = hashX(x)
-		if v, ok := e.cache.Get(cacheKey{r.h, tau}); ok {
+		v, ok := e.cache.Get(cacheKey{r.h, tau})
+		markCache(tr, ok)
+		if ok {
 			return v[0], nil
 		}
 	}
@@ -149,20 +167,36 @@ func (e *Engine) Estimate(ctx context.Context, x []float64, tau int) (float64, e
 // one encoded query, with the same batching, caching, and failure modes as
 // Estimate. Callers must not mutate the returned slice.
 func (e *Engine) EstimateAll(ctx context.Context, x []float64) ([]float64, error) {
+	return e.EstimateAllTraced(ctx, x, nil)
+}
+
+// EstimateAllTraced is EstimateAll with an optional request trace.
+func (e *Engine) EstimateAllTraced(ctx context.Context, x []float64, tr *obs.Trace) ([]float64, error) {
 	m, _ := e.reg.Current()
 	if len(x) != m.InDim {
 		return nil, fmt.Errorf("%w: x has %d features, model expects %d", ErrBadInput, len(x), m.InDim)
 	}
 	mRequests.Inc()
-	r := &request{ctx: ctx, x: x, all: true, done: make(chan result, 1)}
+	r := &request{ctx: ctx, x: x, all: true, done: make(chan result, 1), tr: tr}
 	if e.cache != nil {
 		r.h = hashX(x)
-		if v, ok := e.cache.Get(cacheKey{r.h, tauAll}); ok {
+		v, ok := e.cache.Get(cacheKey{r.h, tauAll})
+		markCache(tr, ok)
+		if ok {
 			return v, nil
 		}
 	}
 	res, err := e.dispatch(ctx, r)
 	return res.all, err
+}
+
+// markCache closes the cache-lookup stage on a traced request.
+func markCache(tr *obs.Trace, hit bool) {
+	if tr == nil {
+		return
+	}
+	mStageCache.ObserveDuration(tr.Mark(StageCache))
+	tr.Annotate("cache_hit", hit)
 }
 
 // dispatch submits r and waits for its result or the context deadline.
@@ -190,6 +224,7 @@ func (e *Engine) submit(r *request) error {
 	if e.closed {
 		return ErrClosed
 	}
+	r.enq = time.Now()
 	select {
 	case e.q <- r:
 		mQueueDepth.Set(float64(len(e.q)))
@@ -218,18 +253,22 @@ func (e *Engine) Close() {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for r := range e.q {
-		e.run(e.collect(r))
+		batchStart := time.Now()
+		batch, reason := e.collect(r)
+		e.run(batch, batchStart, reason)
 	}
 }
 
 // collect forms a batch starting from first: it keeps pulling queued
 // requests until the batch is full (size flush) or MaxWait has passed since
 // the batch started forming (deadline flush, which bounds the latency a
-// lone request pays for batching).
-func (e *Engine) collect(first *request) []*request {
+// lone request pays for batching). The returned reason names which condition
+// flushed the batch; every flush is counted under its reason.
+func (e *Engine) collect(first *request) ([]*request, string) {
 	batch := []*request{first}
 	if e.cfg.MaxBatch <= 1 {
-		return batch
+		mFlushSize.Inc()
+		return batch, FlushSize
 	}
 	timer := time.NewTimer(e.cfg.MaxWait)
 	defer timer.Stop()
@@ -237,16 +276,17 @@ func (e *Engine) collect(first *request) []*request {
 		select {
 		case r, ok := <-e.q:
 			if !ok { // Close drained the queue: flush what we have
-				return batch
+				mFlushShutdown.Inc()
+				return batch, FlushShutdown
 			}
 			batch = append(batch, r)
 		case <-timer.C:
 			mFlushDeadline.Inc()
-			return batch
+			return batch, FlushDeadline
 		}
 	}
 	mFlushSize.Inc()
-	return batch
+	return batch, FlushSize
 }
 
 // run executes one batch: expired requests are failed individually, the
@@ -254,7 +294,15 @@ func (e *Engine) collect(first *request) []*request {
 // result is delivered and cached. The model pointer and cache generation are
 // snapshotted together so a concurrent swap can neither fail the batch nor
 // let its results poison the post-swap cache.
-func (e *Engine) run(batch []*request) {
+//
+// For traced requests the batching interval is split per request at
+// batchStart: time from enqueue to batchStart is queue-wait (clamped into
+// [enq, flush] — a request that joined mid-formation waited zero), and the
+// remainder until the flush instant is batch-formation. Both stages plus the
+// shared forward pass tile each request's wall time exactly, so the
+// per-stage histograms sum to the end-to-end latency.
+func (e *Engine) run(batch []*request, batchStart time.Time, reason string) {
+	flush := time.Now()
 	mQueueDepth.Set(float64(len(e.q)))
 	var gen uint64
 	if e.cache != nil {
@@ -279,14 +327,39 @@ func (e *Engine) run(batch []*request) {
 		return
 	}
 	mBatchSize.Observe(float64(len(live)))
+	for _, r := range live {
+		if r.tr == nil {
+			continue
+		}
+		split := batchStart
+		if split.Before(r.enq) {
+			split = r.enq
+		}
+		if split.After(flush) {
+			split = flush
+		}
+		mStageQueue.ObserveDuration(r.tr.MarkAt(StageQueueWait, split))
+		mStageForm.ObserveDuration(r.tr.MarkAt(StageBatchForm, flush))
+		r.tr.Annotate("batch_size", len(live))
+		r.tr.Annotate("flush", reason)
+	}
 
 	xs := tensor.NewMatrix(len(live), m.InDim)
 	for i, r := range live {
 		copy(xs.Row(i), r.x)
 	}
 	all := m.EstimateAllTausBatch(xs)
+	fwdEnd := time.Now()
+	for _, r := range live {
+		if r.tr != nil {
+			mStageForward.ObserveDuration(r.tr.MarkAt(StageForward, fwdEnd))
+		}
+	}
 	for i, r := range live {
 		row := all.Row(i)
+		if e.cfg.CurveCheck != nil {
+			e.cfg.CurveCheck(row)
+		}
 		if r.all {
 			vals := append([]float64(nil), row...)
 			if e.cache != nil {
@@ -300,5 +373,8 @@ func (e *Engine) run(batch []*request) {
 			e.cache.Put(cacheKey{r.h, r.tau}, []float64{v}, gen)
 		}
 		r.done <- result{val: v}
+	}
+	if e.cache != nil {
+		mCacheSize.Set(float64(e.cache.Len()))
 	}
 }

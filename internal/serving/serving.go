@@ -42,6 +42,31 @@ var (
 	ErrBadInput = errors.New("serving: bad input")
 )
 
+// Pipeline stage names, in request order. They name both the trace stages
+// (obs.Trace.Mark) and the per-stage latency histograms
+// ("serving.stage.<name>.seconds"), so a trace in the JSONL log lines up
+// 1:1 with the /metrics histograms. Admission and write happen in the HTTP
+// layer; the engine marks cache, queue.wait, batch.form, and forward.
+const (
+	StageAdmission = "admission"  // parse + validate, before entering the engine
+	StageCache     = "cache"      // estimate-cache lookup
+	StageQueueWait = "queue.wait" // enqueue until a worker starts forming the batch
+	StageBatchForm = "batch.form" // batch formation until flush (size/deadline/shutdown)
+	StageForward   = "forward"    // shared stacked forward pass
+	StageWrite     = "write"      // result delivery + HTTP response encoding
+)
+
+// StageHistName maps a stage name to its obs histogram name.
+func StageHistName(stage string) string { return "serving.stage." + stage + ".seconds" }
+
+// Batch flush reasons, annotated on traces and counted under
+// "serving.batch.flush_<reason>".
+const (
+	FlushSize     = "size"     // batch reached Config.MaxBatch
+	FlushDeadline = "deadline" // oldest request waited Config.MaxWait
+	FlushShutdown = "shutdown" // Close drained the queue mid-batch
+)
+
 // Engine and registry metrics, on the shared default registry so
 // `cardnet serve` /metrics exposes them without extra plumbing.
 var (
@@ -52,9 +77,16 @@ var (
 	mBatchSize     = obs.Default.Histogram("serving.batch.size", obs.LinearBuckets(1, 1, 64))
 	mFlushSize     = obs.Default.Counter("serving.batch.flush_size")
 	mFlushDeadline = obs.Default.Counter("serving.batch.flush_deadline")
+	mFlushShutdown = obs.Default.Counter("serving.batch.flush_shutdown")
 	mCacheHits     = obs.Default.Counter("serving.cache.hits")
 	mCacheMisses   = obs.Default.Counter("serving.cache.misses")
 	mCacheEvicts   = obs.Default.Counter("serving.cache.evictions")
+	mCacheSize     = obs.Default.Gauge("serving.cache.size")
 	mSwaps         = obs.Default.Counter("serving.registry.swaps")
 	mVersion       = obs.Default.Gauge("serving.registry.version")
+
+	mStageCache   = obs.Default.Histogram(StageHistName(StageCache), obs.TimeBuckets())
+	mStageQueue   = obs.Default.Histogram(StageHistName(StageQueueWait), obs.TimeBuckets())
+	mStageForm    = obs.Default.Histogram(StageHistName(StageBatchForm), obs.TimeBuckets())
+	mStageForward = obs.Default.Histogram(StageHistName(StageForward), obs.TimeBuckets())
 )
