@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci lint staticcheck vet build test race-serving race-obs bench-obs bench-serving
+.PHONY: ci lint staticcheck vet build test race-serving race-obs race-train bench-obs bench-serving bench-train
 
-ci: lint staticcheck vet build test race-serving race-obs
+ci: lint staticcheck vet build test race-serving race-obs race-train
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -40,6 +40,13 @@ race-serving:
 race-obs:
 	$(GO) test -race -count=3 ./internal/obs/... -run 'Concurrent|Sink|Trace|Monitor|Drift|Sampler'
 
+# Stress the data-parallel training engine and the shared tensor worker pool
+# under the race detector: shard forward/backward over shared weights, ordered
+# gradient reduction, and the help-first pool's nested dispatch.
+race-train:
+	$(GO) test -race -count=3 ./internal/core -run 'Workers|ParallelCloseToSequential|Sharded'
+	$(GO) test -race -count=3 ./internal/tensor -run 'Parallel|RunParts|SetWorkers'
+
 # Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
@@ -50,3 +57,9 @@ bench-obs:
 bench-serving:
 	$(GO) run ./cmd/cardnet -mode servebench -dataset HM-ImageNet -n 1200 \
 		-calls 4000 -benchout results/BENCH_serving.json
+
+# Regenerate the training-scalability baseline (results/BENCH_train.json):
+# full training runs at workers 1/2/4/NumCPU plus parallel-kernel GFLOP/s.
+bench-train:
+	$(GO) run ./cmd/cardnet -mode trainbench -dataset HM-ImageNet -n 1200 \
+		-benchepochs 8 -benchout results/BENCH_train.json

@@ -11,6 +11,7 @@
 //	cardnet -mode serve -model model.gob -addr :8089
 //	cardnet -mode obsbench -dataset HM-ImageNet -benchout results/BENCH_obs.json
 //	cardnet -mode servebench -dataset HM-ImageNet -benchout results/BENCH_serving.json
+//	cardnet -mode trainbench -dataset HM-ImageNet -benchout results/BENCH_train.json
 //
 // Train and update write a per-epoch JSONL training log (default
 // <model>.train.jsonl; -trainlog off disables). Serve runs the
@@ -20,7 +21,9 @@
 // /metrics (obs registry snapshot), /healthz, and /debug/pprof/*; it shuts
 // down gracefully on SIGINT/SIGTERM. Obsbench records estimate-path latency
 // with instrumentation on vs. off; servebench records batched vs per-request
-// throughput and the estimate cache's effect.
+// throughput and the estimate cache's effect; trainbench sweeps the
+// data-parallel training engine over worker counts and records epoch/total
+// speedups plus tensor-kernel GFLOP/s.
 package main
 
 import (
@@ -37,11 +40,12 @@ import (
 	"cardnet/internal/obs"
 	"cardnet/internal/serving"
 	"cardnet/internal/simselect"
+	"cardnet/internal/tensor"
 )
 
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update | serve | obsbench | servebench")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | obsbench | servebench | trainbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
 	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
@@ -55,7 +59,8 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 32, "serve: max requests coalesced into one forward pass")
 	maxWait := flag.Duration("maxwait", time.Millisecond, "serve: batch flush deadline")
 	queueDepth := flag.Int("queue", 256, "serve: admission queue depth (full queue -> 503)")
-	workers := flag.Int("workers", 0, "serve: batch workers (0 = half the CPUs)")
+	workers := flag.Int("workers", 0, "train/update: data-parallel training shards (0 = all CPUs); serve: batch workers (0 = half the CPUs)")
+	benchEpochs := flag.Int("benchepochs", 8, "trainbench: training epochs per worker configuration")
 	cacheEntries := flag.Int("cache", 4096, "serve: estimate cache entries (negative disables)")
 	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve: fraction of requests whose traces are written to -tracelog")
 	traceLog := flag.String("tracelog", "off", `serve: JSONL request-trace log path ("off" = disabled)`)
@@ -86,6 +91,8 @@ func main() {
 		cfg := core.DefaultConfig(b.TauMax)
 		cfg.Accel = *accel
 		cfg.Seed = *seed
+		cfg.Workers = resolveTrainWorkers(*workers)
+		tensor.SetWorkers(cfg.Workers)
 		sink, closeSink := openTrainLog(*trainLog, *modelPath)
 		if sink != nil {
 			cfg.Hook = trainLogHook(sink, *dsName)
@@ -122,6 +129,8 @@ func main() {
 		fmt.Println(metrics.Evaluate(actual, est))
 	case "update":
 		m := load(*modelPath)
+		m.Cfg.Workers = resolveTrainWorkers(*workers)
+		tensor.SetWorkers(m.Cfg.Workers)
 		sink, closeSink := openTrainLog(*trainLog, *modelPath)
 		if sink != nil {
 			m.Cfg.Hook = trainLogHook(sink, *dsName)
@@ -223,6 +232,30 @@ func main() {
 			rep.Tracing.OverheadP50Pct, rep.Tracing.Untraced.P50Micros, rep.Tracing.Traced.P50Micros)
 		log.Printf("queue wait p50/p95: %.0f/%.0fus, mean batch %.1f, flush mix %v -> %s",
 			rep.Tracing.QueueWaitP50Us, rep.Tracing.QueueWaitP95Us, rep.Tracing.MeanBatchSize, rep.Tracing.FlushMix, out)
+	case "trainbench":
+		b := buildBundle()
+		rep := runTrainBench(b, *accel, *seed, *benchEpochs)
+		rep.Dataset = *dsName
+		rep.Records = *n
+		out := *benchOut
+		if out == "results/BENCH_obs.json" { // flag default belongs to obsbench
+			out = "results/BENCH_train.json"
+		}
+		if err := rep.write(out); err != nil {
+			log.Fatalf("trainbench: %v", err)
+		}
+		if rep.Note != "" {
+			log.Printf("note: %s", rep.Note)
+		}
+		for _, r := range rep.Runs {
+			log.Printf("workers %2d: total %6.2fs  epoch mean %6.3fs  speedup %.2fx/%.2fx  best MSLE %.4f",
+				r.Workers, r.TotalSeconds, r.EpochSecondsMean, r.SpeedupTotal, r.SpeedupEpoch, r.BestValidMSLE)
+		}
+		for _, kb := range rep.Kernels {
+			log.Printf("kernel %-16s %dx%dx%d workers %2d: %6.2f GFLOP/s",
+				kb.Kernel, kb.M, kb.K, kb.N, kb.Workers, kb.GFLOPS)
+		}
+		log.Printf("wrote %s", out)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cardnet/internal/bench"
+	"cardnet/internal/core"
+	"cardnet/internal/tensor"
+)
+
+// trainBenchReport records how training throughput scales with the
+// data-parallel worker count (results/BENCH_train.json). Every run trains the
+// same workload from the same seed; only cfg.Workers (and the matching tensor
+// kernel width) changes. GOMAXPROCS and NumCPU are part of the report because
+// the speedups are only meaningful relative to the cores the process could
+// actually use.
+type trainBenchReport struct {
+	Dataset      string          `json:"dataset"`
+	Records      int             `json:"records"`
+	TrainQueries int             `json:"train_queries"`
+	Accel        bool            `json:"accel"`
+	Epochs       int             `json:"epochs"`
+	BatchSize    int             `json:"batch_size"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	NumCPU       int             `json:"num_cpu"`
+	Note         string          `json:"note,omitempty"`
+	Runs         []trainBenchRun `json:"runs"`
+	Kernels      []kernelBench   `json:"kernels"`
+}
+
+// trainBenchRun is one full Train (VAE pretrain + joint epochs) at a fixed
+// worker count.
+type trainBenchRun struct {
+	Workers          int     `json:"workers"`
+	TotalSeconds     float64 `json:"total_seconds"`
+	EpochSecondsMean float64 `json:"epoch_seconds_mean"`
+	EpochSecondsMin  float64 `json:"epoch_seconds_min"`
+	SpeedupTotal     float64 `json:"speedup_total_vs_1"`
+	SpeedupEpoch     float64 `json:"speedup_epoch_vs_1"`
+	BestValidMSLE    float64 `json:"best_valid_msle"`
+	FinalTrainLoss   float64 `json:"final_train_loss"`
+}
+
+// kernelBench is the throughput of one parallel tensor kernel at one worker
+// count, measured at a production-scale shape (paper Section 9.1.3: Φ hidden
+// layers are 512×512, driven by a 256-row stacked batch).
+type kernelBench struct {
+	Kernel  string  `json:"kernel"`
+	M       int     `json:"m"`
+	K       int     `json:"k"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+// benchWorkerCounts is the ladder the harness sweeps: {1, 2, 4, NumCPU},
+// deduplicated and sorted.
+func benchWorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var out []int
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// resolveTrainWorkers maps the -workers flag to a training shard count:
+// values below one mean "use every core".
+func resolveTrainWorkers(flagVal int) int {
+	if flagVal < 1 {
+		return runtime.NumCPU()
+	}
+	return flagVal
+}
+
+// runTrainBench trains the bundle once per worker count and measures the
+// kernels, producing the full report (Dataset/Records are filled by the
+// caller).
+func runTrainBench(b *bench.Bundle, accel bool, seed int64, epochs int) *trainBenchReport {
+	rep := &trainBenchReport{
+		TrainQueries: b.Train.NumQueries(),
+		Accel:        accel,
+		Epochs:       epochs,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+	}
+	if runtime.NumCPU() == 1 {
+		rep.Note = "single-CPU host: multi-worker runs measure shard-engine overhead only; wall-clock speedup requires >1 core"
+	}
+
+	counts := benchWorkerCounts()
+	for _, w := range counts {
+		cfg := core.DefaultConfig(b.TauMax)
+		cfg.Accel = accel
+		cfg.Seed = seed
+		cfg.Epochs = epochs
+		cfg.Patience = 0 // every run must do identical work: no early stop
+		cfg.Workers = w
+		rep.BatchSize = cfg.Batch
+
+		var epochSecs []float64
+		cfg.Hook = func(ev core.TrainEvent) {
+			epochSecs = append(epochSecs, ev.EpochTime.Seconds())
+		}
+		prev := tensor.SetWorkers(w)
+		m := core.New(cfg, b.Train.X.Cols)
+		start := time.Now()
+		res := m.Train(b.Train, b.Valid)
+		total := time.Since(start).Seconds()
+		tensor.SetWorkers(prev)
+
+		run := trainBenchRun{
+			Workers:        w,
+			TotalSeconds:   total,
+			BestValidMSLE:  res.BestValidMSLE,
+			FinalTrainLoss: res.FinalTrainLoss,
+		}
+		if len(epochSecs) > 0 {
+			minS := epochSecs[0]
+			var sum float64
+			for _, s := range epochSecs {
+				sum += s
+				if s < minS {
+					minS = s
+				}
+			}
+			run.EpochSecondsMean = sum / float64(len(epochSecs))
+			run.EpochSecondsMin = minS
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	// Speedups relative to the workers=1 run (always first: counts is sorted
+	// and contains 1).
+	base := rep.Runs[0]
+	for i := range rep.Runs {
+		if rep.Runs[i].TotalSeconds > 0 {
+			rep.Runs[i].SpeedupTotal = base.TotalSeconds / rep.Runs[i].TotalSeconds
+		}
+		if rep.Runs[i].EpochSecondsMean > 0 {
+			rep.Runs[i].SpeedupEpoch = base.EpochSecondsMean / rep.Runs[i].EpochSecondsMean
+		}
+	}
+
+	rep.Kernels = measureKernels(counts)
+	return rep
+}
+
+// measureKernels times the three parallel matmul kernels the training engine
+// leans on, at each worker count, and reports GFLOP/s.
+func measureKernels(counts []int) []kernelBench {
+	const m, k, n = 256, 512, 512
+	rng := rand.New(rand.NewSource(1))
+	fill := func(rows, cols int) *tensor.Matrix {
+		mt := tensor.NewMatrix(rows, cols)
+		for i := range mt.Data {
+			mt.Data[i] = rng.NormFloat64()
+		}
+		return mt
+	}
+	// Forward y = x·Wᵀ, backward dX = dY·W, weight grad dW += dYᵀ·X — the
+	// Dense-layer hot paths.
+	x, wt := fill(m, k), fill(n, k)
+	dy, w2 := fill(m, k), fill(k, n)
+	g, act, gw := fill(m, k), fill(m, n), tensor.NewMatrix(k, n)
+	kernels := []struct {
+		name string
+		run  func()
+	}{
+		{"pmatmul_abt", func() { tensor.PMatMulABT(x, wt, nil) }},
+		{"pmatmul", func() { tensor.PMatMul(dy, w2, nil) }},
+		{"pmatmul_atb_add", func() { tensor.PMatMulATBAdd(g, act, gw) }},
+	}
+	flops := 2.0 * float64(m) * float64(k) * float64(n)
+
+	var out []kernelBench
+	for _, workers := range counts {
+		prev := tensor.SetWorkers(workers)
+		for _, kd := range kernels {
+			kd.run() // warm the pool and caches
+			var iters int
+			start := time.Now()
+			for time.Since(start) < 150*time.Millisecond {
+				kd.run()
+				iters++
+			}
+			elapsed := time.Since(start).Seconds()
+			out = append(out, kernelBench{
+				Kernel: kd.name, M: m, K: k, N: n, Workers: workers,
+				GFLOPS: flops * float64(iters) / elapsed / 1e9,
+			})
+		}
+		tensor.SetWorkers(prev)
+	}
+	return out
+}
+
+func (r *trainBenchReport) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -63,15 +63,21 @@ func (a *accelEncoder) Params() []*nn.Param {
 // e·tauCount + i holding example e's embedding of distance i — the same
 // layout the standard encoder produces, so the decoders are shared.
 func (a *accelEncoder) Forward(xp *tensor.Matrix, train bool) *tensor.Matrix {
+	return a.ForwardCtx(nil, xp, train)
+}
+
+// ForwardCtx is Forward through a per-shard context (nil = legacy layer
+// caches), letting concurrent training shards share one Φ′ instance.
+func (a *accelEncoder) ForwardCtx(c *nn.Ctx, xp *tensor.Matrix, train bool) *tensor.Matrix {
 	accelForwards.Inc()
 	b := xp.Rows
 	z := tensor.NewMatrix(b*a.tauCount, a.zDim)
 	h := xp
 	col := 0
 	for j := range a.layers {
-		h = a.acts[j].Forward(a.layers[j].Forward(h, train), train)
+		h = a.acts[j].ForwardCtx(c, a.layers[j].ForwardCtx(c, h, train), train)
 		w := a.regions[j]
-		zj := a.heads[j].Forward(h, train) // B × tauCount·w
+		zj := a.heads[j].ForwardCtx(c, h, train) // B × tauCount·w
 		for e := 0; e < b; e++ {
 			src := zj.Row(e)
 			for i := 0; i < a.tauCount; i++ {
@@ -88,6 +94,11 @@ func (a *accelEncoder) Forward(xp *tensor.Matrix, train bool) *tensor.Matrix {
 // hidden layer, which is what lets every hidden layer learn directly from
 // the final embeddings (the property Section 7 credits for Φ′'s accuracy).
 func (a *accelEncoder) Backward(dz *tensor.Matrix) *tensor.Matrix {
+	return a.BackwardCtx(nil, dz)
+}
+
+// BackwardCtx is Backward through a per-shard context.
+func (a *accelEncoder) BackwardCtx(c *nn.Ctx, dz *tensor.Matrix) *tensor.Matrix {
 	b := dz.Rows / a.tauCount
 	// dH from the layer above (nil for the last layer).
 	var dhNext *tensor.Matrix
@@ -102,13 +113,13 @@ func (a *accelEncoder) Backward(dz *tensor.Matrix) *tensor.Matrix {
 				copy(dst[i*w:(i+1)*w], dz.Row(e*a.tauCount + i)[col:col+w])
 			}
 		}
-		dh := a.heads[j].Backward(dzj)
+		dh := a.heads[j].BackwardCtx(c, dzj)
 		if dhNext != nil {
 			for i := range dh.Data {
 				dh.Data[i] += dhNext.Data[i]
 			}
 		}
-		dhNext = a.layers[j].Backward(a.acts[j].Backward(dh))
+		dhNext = a.layers[j].BackwardCtx(c, a.acts[j].BackwardCtx(c, dh))
 	}
 	return dhNext
 }

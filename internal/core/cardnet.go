@@ -127,6 +127,14 @@ type fwd struct {
 // path (reparameterized latent); inference uses the deterministic mean
 // latent so the model satisfies Lemma 2's determinism requirement.
 func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
+	return m.forwardCtx(nil, x, train, rng)
+}
+
+// forwardCtx is forward with training-mode activation caches kept in ctx
+// (nil ctx = legacy layer-struct caches). Training shards running
+// concurrently over one model must each bring their own ctx and rng;
+// inference (train=false) writes no state either way.
+func (m *Model) forwardCtx(ctx *nn.Ctx, x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 	f := &fwd{x: x}
 	b := x.Rows
 	if m.vae == nil {
@@ -135,7 +143,7 @@ func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 	} else {
 		var latent *tensor.Matrix
 		if train {
-			f.vaeOut = m.vae.ForwardTrain(x, rng)
+			f.vaeOut = m.vae.ForwardTrainCtx(ctx, x, rng)
 			latent = f.vaeOut.Z
 		} else {
 			latent = m.vae.Mean(x)
@@ -149,7 +157,7 @@ func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 
 	t := m.tauCount()
 	if m.Cfg.Accel {
-		f.z = m.accel.Forward(f.xp, train)
+		f.z = m.accel.ForwardCtx(ctx, f.xp, train)
 	} else {
 		in := tensor.NewMatrix(b*t, f.xp.Cols+m.Cfg.EmbDim)
 		for e := 0; e < b; e++ {
@@ -159,7 +167,7 @@ func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 				copy(row[f.xp.Cols:], m.embedding(i))
 			}
 		}
-		f.z = m.phi.Forward(in, train)
+		f.z = m.phi.ForwardCtx(ctx, in, train)
 	}
 
 	// Decoders: ĉᵢ = ReLU(wᵢᵀ·zᵢ + bᵢ).
@@ -182,8 +190,17 @@ func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 // accumulating parameter gradients. vaeScale is λ (Eq. 2); zero skips the
 // VAE's own loss but still propagates the regression gradient through it.
 func (m *Model) backward(f *fwd, dc *tensor.Matrix, vaeScale float64) {
+	m.backwardCtx(nil, f, dc, vaeScale, f.x.Rows)
+}
+
+// backwardCtx is backward through a per-shard context (nil ctx = legacy
+// direct Param.Grad accumulation). normRows pins the VAE loss normalization
+// to the global minibatch size when f covers only a shard of it.
+func (m *Model) backwardCtx(ctx *nn.Ctx, f *fwd, dc *tensor.Matrix, vaeScale float64, normRows int) {
 	b := f.x.Rows
 	t := m.tauCount()
+	decWGrad := ctx.GradOf(m.decW)
+	decBGrad := ctx.GradOf(m.decB)
 	dz := tensor.NewMatrix(b*t, m.Cfg.ZDim)
 	for e := 0; e < b; e++ {
 		for i := 0; i < t; i++ {
@@ -192,25 +209,26 @@ func (m *Model) backward(f *fwd, dc *tensor.Matrix, vaeScale float64) {
 				continue // ReLU gate
 			}
 			w := m.decW.Value[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
-			gw := m.decW.Grad[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
+			gw := decWGrad[i*m.Cfg.ZDim : (i+1)*m.Cfg.ZDim]
 			zrow := f.z.Row(e*t + i)
 			tensor.Axpy(g, zrow, gw)
-			m.decB.Grad[i] += g
+			decBGrad[i] += g
 			tensor.Axpy(g, w, dz.Row(e*t+i))
 		}
 	}
 
 	var dxp *tensor.Matrix
 	if m.Cfg.Accel {
-		dxp = m.accel.Backward(dz)
+		dxp = m.accel.BackwardCtx(ctx, dz)
 	} else {
-		din := m.phi.Backward(dz) // B·t × (xp+emb)
+		din := m.phi.BackwardCtx(ctx, dz) // B·t × (xp+emb)
 		dxp = tensor.NewMatrix(b, f.xp.Cols)
+		embGrad := ctx.GradOf(m.emb)
 		for e := 0; e < b; e++ {
 			for i := 0; i < t; i++ {
 				row := din.Row(e*t + i)
 				tensor.Axpy(1, row[:f.xp.Cols], dxp.Row(e))
-				ge := m.emb.Grad[i*m.Cfg.EmbDim : (i+1)*m.Cfg.EmbDim]
+				ge := embGrad[i*m.Cfg.EmbDim : (i+1)*m.Cfg.EmbDim]
 				tensor.Axpy(1, row[f.xp.Cols:], ge)
 			}
 		}
@@ -225,7 +243,7 @@ func (m *Model) backward(f *fwd, dc *tensor.Matrix, vaeScale float64) {
 	for e := 0; e < b; e++ {
 		copy(dzvae.Row(e), dxp.Row(e)[m.InDim:])
 	}
-	m.vae.Backward(f.vaeOut, f.x, vaeScale, dzvae)
+	m.vae.BackwardCtx(ctx, f.vaeOut, f.x, vaeScale, dzvae, normRows)
 }
 
 // EstimateEncoded returns the deterministic cardinality estimate for an
@@ -322,13 +340,21 @@ func (m *Model) EstimateAllTaus(x []float64) []float64 {
 	return out
 }
 
+// estMinShardRows gates the parallel sharding of the batch estimators: a
+// batch only fans out across the worker pool when every shard keeps at least
+// this many rows, so small serving batches never pay dispatch overhead.
+const estMinShardRows = 16
+
 // EstimateAllTausBatch runs one forward pass over a whole batch: xs is
 // B×InDim (one encoded query per row) and the result is B×(TauMax+1), row e
 // holding the prefix-sum estimates of query e at every τ. Stacking rows
 // through the shared Φ/Φ′ matmuls amortizes weight-matrix memory traffic, so
-// this is the serving hot path; every output element is bit-identical to the
-// corresponding per-sample EstimateAllTaus / EstimateEncoded result. Safe for
-// concurrent callers (the inference forward writes no shared state).
+// this is the serving hot path; wide batches additionally shard their rows
+// across the tensor worker pool. Because the inference forward treats every
+// row independently, every output element stays bit-identical to the
+// corresponding per-sample EstimateAllTaus / EstimateEncoded result at any
+// worker count. Safe for concurrent callers (the inference forward writes no
+// shared state).
 func (m *Model) EstimateAllTausBatch(xs *tensor.Matrix) *tensor.Matrix {
 	if xs.Cols != m.InDim {
 		panic(fmt.Sprintf("core: feature dim %d, model expects %d", xs.Cols, m.InDim))
@@ -338,23 +364,30 @@ func (m *Model) EstimateAllTausBatch(xs *tensor.Matrix) *tensor.Matrix {
 	if traced {
 		tm = obs.StartTimer(estBatchLatency)
 	}
-	f := m.forward(xs, false, nil)
 	t := m.tauCount()
 	out := tensor.NewMatrix(xs.Rows, t)
-	for e := 0; e < xs.Rows; e++ {
-		row := out.Row(e)
-		var sum float64
-		for i := 0; i < t; i++ {
-			sum += f.c.At(e, i)
-			row[i] = sum
+	var c0 []float64 // decoder outputs of row 0, for the monotonicity spot check
+	tensor.ParallelRows(xs.Rows, estMinShardRows, func(lo, hi int) {
+		f := m.forward(xs.RowSlice(lo, hi), false, nil)
+		for e := lo; e < hi; e++ {
+			crow := f.c.Row(e - lo)
+			row := out.Row(e)
+			var sum float64
+			for i := 0; i < t; i++ {
+				sum += crow[i]
+				row[i] = sum
+			}
 		}
-	}
+		if lo == 0 {
+			c0 = f.c.Row(0)
+		}
+	})
 	if traced {
 		tm.Stop()
 		estBatchCalls.Inc()
 		estBatchRows.Add(uint64(xs.Rows))
-		if estSeq.Add(1)%monoSampleEvery == 0 && xs.Rows > 0 {
-			spotCheckMonotone(f.c.Row(0))
+		if estSeq.Add(1)%monoSampleEvery == 0 && c0 != nil {
+			spotCheckMonotone(c0)
 		}
 	}
 	return out
@@ -376,28 +409,34 @@ func (m *Model) EstimateEncodedBatch(xs *tensor.Matrix, taus []int) []float64 {
 	if traced {
 		tm = obs.StartTimer(estBatchLatency)
 	}
-	f := m.forward(xs, false, nil)
 	out := make([]float64, xs.Rows)
-	for e := 0; e < xs.Rows; e++ {
-		tau := taus[e]
-		if tau < 0 {
-			continue
+	var c0 []float64
+	tensor.ParallelRows(xs.Rows, estMinShardRows, func(lo, hi int) {
+		f := m.forward(xs.RowSlice(lo, hi), false, nil)
+		for e := lo; e < hi; e++ {
+			tau := taus[e]
+			if tau < 0 {
+				continue
+			}
+			if tau > m.Cfg.TauMax {
+				tau = m.Cfg.TauMax
+			}
+			var sum float64
+			for i := 0; i <= tau; i++ {
+				sum += f.c.At(e-lo, i)
+			}
+			out[e] = sum
 		}
-		if tau > m.Cfg.TauMax {
-			tau = m.Cfg.TauMax
+		if lo == 0 {
+			c0 = f.c.Row(0)
 		}
-		var sum float64
-		for i := 0; i <= tau; i++ {
-			sum += f.c.At(e, i)
-		}
-		out[e] = sum
-	}
+	})
 	if traced {
 		tm.Stop()
 		estBatchCalls.Inc()
 		estBatchRows.Add(uint64(xs.Rows))
-		if estSeq.Add(1)%monoSampleEvery == 0 && xs.Rows > 0 {
-			spotCheckMonotone(f.c.Row(0))
+		if estSeq.Add(1)%monoSampleEvery == 0 && c0 != nil {
+			spotCheckMonotone(c0)
 		}
 	}
 	return out
@@ -423,7 +462,7 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 
 	m.TauTop = train.TauTop
 	if m.vae != nil {
-		m.vae.Pretrain(train.X, cfg.VAEEpochs, cfg.Batch, cfg.LR, rng)
+		m.vae.PretrainWorkers(train.X, cfg.VAEEpochs, cfg.Batch, cfg.LR, rng, m.workers())
 	}
 
 	params := m.Params()
@@ -441,6 +480,7 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 		omega[i] = 1 / float64(top+1)
 	}
 	prevValidPerDist := make([]float64, t)
+	deltas := make([]float64, t)
 	havePrev := false
 
 	res := TrainResult{BestValidMSLE: math.Inf(1)}
@@ -451,6 +491,10 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 	for e := range perm {
 		perm[e] = e
 	}
+	// Minibatch scratch, reused across every step of every epoch (a RowSlice
+	// view trims the final short batch).
+	xb := tensor.NewMatrix(cfg.Batch, train.X.Cols)
+	lb := tensor.NewMatrix(cfg.Batch, train.Labels.Cols)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
@@ -463,13 +507,13 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 				end = len(perm)
 			}
 			rows := perm[start:end]
-			xb := tensor.NewMatrix(len(rows), train.X.Cols)
-			lb := tensor.NewMatrix(len(rows), train.Labels.Cols)
+			xv := xb.RowSlice(0, len(rows))
+			lv := lb.RowSlice(0, len(rows))
 			for i, r := range rows {
-				copy(xb.Row(i), train.X.Row(r))
-				copy(lb.Row(i), train.Labels.Row(r))
+				copy(xv.Row(i), train.X.Row(r))
+				copy(lv.Row(i), train.Labels.Row(r))
 			}
-			loss := m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+			loss := m.trainBatch(xv, lv, train.P, omega, top, opt, rng)
 			epochLoss += loss
 			batches++
 		}
@@ -488,22 +532,7 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 		// Dynamic training: shift ω toward distances whose validation loss
 		// is trending up (Section 6.2).
 		if havePrev {
-			var sumPos float64
-			deltas := make([]float64, t)
-			for i := 0; i <= top; i++ {
-				d := perDist[i] - prevValidPerDist[i]
-				if d > 0 {
-					deltas[i] = d
-					sumPos += d
-				}
-			}
-			for i := 0; i <= top; i++ {
-				if sumPos > 0 {
-					omega[i] = deltas[i] / sumPos
-				} else {
-					omega[i] = 0
-				}
-			}
+			updateOmega(omega, deltas, perDist, prevValidPerDist, top)
 		}
 		copy(prevValidPerDist, perDist)
 		havePrev = true
@@ -534,6 +563,32 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 	return res
 }
 
+// updateOmega recomputes the dynamic per-distance weights ω from the change
+// in per-distance validation loss (Section 6.2): all weight mass moves to the
+// distances whose loss regressed since the previous epoch, proportional to
+// how much. When no distance regressed, ω falls back to uniform over
+// [0, top] — an all-zero ω would silently disable the Eq. 3 term for the
+// rest of the run. deltas is caller-provided scratch of the same length as
+// omega; entries above top are left untouched.
+func updateOmega(omega, deltas, perDist, prevPerDist []float64, top int) {
+	var sumPos float64
+	for i := 0; i <= top; i++ {
+		deltas[i] = 0
+		d := perDist[i] - prevPerDist[i]
+		if d > 0 {
+			deltas[i] = d
+			sumPos += d
+		}
+	}
+	for i := 0; i <= top; i++ {
+		if sumPos > 0 {
+			omega[i] = deltas[i] / sumPos
+		} else {
+			omega[i] = 1 / float64(top+1)
+		}
+	}
+}
+
 // emitEpoch finishes a TrainEvent (wall time), records the shared obs
 // metrics, and delivers the event to the config's hook. It is telemetry
 // only: nothing here feeds back into training state.
@@ -551,19 +606,29 @@ func emitEpoch(cfg Config, ev TrainEvent, start time.Time) {
 	}
 }
 
-// trainBatch runs one optimizer step on a batch and returns its loss. The
-// batch is trained on every τ ∈ [0, top] simultaneously: since
-// ĉ(x,τ) = Σ_{i≤τ} ĉᵢ, the gradient of Σ_τ P(τ)·MSLE(ĉ(τ), c(τ)) w.r.t. ĉᵢ
-// is the tail sum over τ ≥ i, to which the per-distance term λΔ·ωᵢ·MSLE(ĉᵢ,
-// cᵢ) is added (Equations 2–3).
-func (m *Model) trainBatch(x, labels *tensor.Matrix, p, omega []float64, top int, opt nn.Optimizer, rng *rand.Rand) float64 {
-	b := x.Rows
-	f := m.forward(x, true, rng)
-	t := m.tauCount()
+// workers returns the normalized data-parallel width of the trainer:
+// cfg.Workers, with everything below one (including the zero value) mapped to
+// the sequential path.
+func (m *Model) workers() int {
+	if m.Cfg.Workers < 1 {
+		return 1
+	}
+	return m.Cfg.Workers
+}
 
-	dc := tensor.NewMatrix(b, t)
+// batchLossGrad computes the regression loss of one forward pass and
+// accumulates dL/dĉ into dc (rows aligned with f's rows). The batch is
+// trained on every τ ∈ [0, top] simultaneously: since ĉ(x,τ) = Σ_{i≤τ} ĉᵢ,
+// the gradient of Σ_τ P(τ)·MSLE(ĉ(τ), c(τ)) w.r.t. ĉᵢ is the tail sum over
+// τ ≥ i, to which the per-distance term λΔ·ωᵢ·MSLE(ĉᵢ, cᵢ) is added
+// (Equations 2–3). Loss terms are normalized by the global batch size normB —
+// a shard of a larger minibatch passes the full batch's size so shard partial
+// losses and gradients sum to exactly the whole-batch quantities.
+func (m *Model) batchLossGrad(f *fwd, labels *tensor.Matrix, p, omega []float64, top, normB int, dc *tensor.Matrix) float64 {
+	b := f.x.Rows
+	t := m.tauCount()
 	var loss float64
-	nTotal := b * (top + 1)
+	nTotal := normB * (top + 1)
 	for e := 0; e < b; e++ {
 		lrow := labels.Row(e)
 		// Prefix sums of per-distance predictions.
@@ -589,35 +654,156 @@ func (m *Model) trainBatch(x, labels *tensor.Matrix, p, omega []float64, top int
 			prev = lrow[tau]
 			if m.Cfg.LambdaDelta > 0 && omega[tau] > 0 {
 				d := logErr(f.c.At(e, tau), ci)
-				loss += m.Cfg.LambdaDelta * omega[tau] * d * d / float64(b)
-				dc.Data[e*t+tau] += m.Cfg.LambdaDelta * omega[tau] * msleGrad(f.c.At(e, tau), ci, b)
+				loss += m.Cfg.LambdaDelta * omega[tau] * d * d / float64(normB)
+				dc.Data[e*t+tau] += m.Cfg.LambdaDelta * omega[tau] * msleGrad(f.c.At(e, tau), ci, normB)
 			}
 		}
 	}
-	// VAE loss contribution (for reporting; its gradient is added in
-	// backward via vaeScale=λ).
-	if m.Cfg.Lambda > 0 && m.vae != nil {
-		recon, kl := m.vae.Loss(f.vaeOut, x)
-		loss += m.Cfg.Lambda * (recon + kl)
+	return loss
+}
+
+// trainBatch runs one optimizer step on a batch and returns its loss. With
+// cfg.Workers ≤ 1 it is the sequential single-goroutine step, bit-identical
+// to the pre-parallel implementation. With more workers the batch rows are
+// split into contiguous shards that run forward/backward concurrently over
+// shared weights, each shard carrying its own nn.Ctx (activation caches and
+// gradient buffers) and its own noise stream seeded from the parent rng in
+// shard order; shard gradients are then reduced into Param.Grad in shard
+// order, so a fixed worker count reproduces exactly while different counts
+// are different (equally valid) runs.
+func (m *Model) trainBatch(x, labels *tensor.Matrix, p, omega []float64, top int, opt nn.Optimizer, rng *rand.Rand) float64 {
+	b := x.Rows
+	t := m.tauCount()
+	w := m.workers()
+	if w > b {
+		w = b
+	}
+	if w <= 1 {
+		f := m.forward(x, true, rng)
+		dc := tensor.NewMatrix(b, t)
+		loss := m.batchLossGrad(f, labels, p, omega, top, b, dc)
+		// VAE loss contribution (for reporting; its gradient is added in
+		// backward via vaeScale=λ).
+		if m.Cfg.Lambda > 0 && m.vae != nil {
+			recon, kl := m.vae.Loss(f.vaeOut, x)
+			loss += m.Cfg.Lambda * (recon + kl)
+		}
+		m.backward(f, dc, m.Cfg.Lambda)
+		if m.Cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(m.Params(), m.Cfg.ClipNorm)
+		}
+		opt.Step()
+		return loss
 	}
 
-	m.backward(f, dc, m.Cfg.Lambda)
+	// One seed per shard, drawn in shard order: the epoch's VAE noise is a
+	// pure function of (cfg.Seed, worker count), never of scheduling.
+	seeds := make([]int64, w)
+	for k := range seeds {
+		seeds[k] = rng.Int63()
+	}
+	bounds := tensor.ShardBounds(b, w)
+	ctxs := make([]*nn.Ctx, w)
+	losses := make([]float64, w)
+	vaeSums := make([]float64, w)
+	tensor.RunParts(w, func(k int) {
+		lo, hi := bounds[k], bounds[k+1]
+		if lo == hi {
+			return
+		}
+		ctx := nn.NewCtx()
+		ctxs[k] = ctx
+		srng := rand.New(rand.NewSource(seeds[k]))
+		xs := x.RowSlice(lo, hi)
+		ls := labels.RowSlice(lo, hi)
+		f := m.forwardCtx(ctx, xs, true, srng)
+		dc := tensor.NewMatrix(hi-lo, t)
+		losses[k] = m.batchLossGrad(f, ls, p, omega, top, b, dc)
+		if m.Cfg.Lambda > 0 && m.vae != nil {
+			bce, kl := m.vae.LossSums(f.vaeOut, xs)
+			vaeSums[k] = bce + kl
+		}
+		m.backwardCtx(ctx, f, dc, m.Cfg.Lambda, b)
+	})
+	// Ordered reduction: shard k's gradients land before shard k+1's.
+	params := m.Params()
+	for _, ctx := range ctxs {
+		if ctx != nil {
+			ctx.AddGradsInto(params)
+		}
+	}
+	var loss, vaeSum float64
+	for k := 0; k < w; k++ {
+		loss += losses[k]
+		vaeSum += vaeSums[k]
+	}
+	if m.Cfg.Lambda > 0 && m.vae != nil {
+		// Loss returns (BCE sum + KL sum)/rows; recombine shard sums the
+		// same way over the global batch.
+		loss += m.Cfg.Lambda * vaeSum / float64(b)
+	}
 	if m.Cfg.ClipNorm > 0 {
-		nn.ClipGradNorm(m.Params(), m.Cfg.ClipNorm)
+		nn.ClipGradNorm(params, m.Cfg.ClipNorm)
 	}
 	opt.Step()
 	return loss
 }
 
 // validate returns the validation MSLE over all (query, τ) pairs weighted by
-// P(τ), plus the per-distance MSLE vector ℓᵢ used by dynamic training.
+// P(τ), plus the per-distance MSLE vector ℓᵢ used by dynamic training. With
+// cfg.Workers > 1 the queries are split into contiguous shards evaluated
+// concurrently (inference writes no shared state) whose accumulators are
+// reduced in shard order.
 func (m *Model) validate(valid *TrainSet, top int) (float64, []float64) {
 	t := m.tauCount()
+	nq := valid.NumQueries()
+	w := m.workers()
+	if w > nq {
+		w = nq
+	}
+	if w <= 1 {
+		perDistSum := make([]float64, t)
+		perDistN := make([]int, t)
+		total, n := m.validateRange(valid, top, 0, nq, perDistSum, perDistN)
+		return finishValidate(total, n, perDistSum, perDistN)
+	}
+	bounds := tensor.ShardBounds(nq, w)
+	sums := make([][]float64, w)
+	counts := make([][]int, w)
+	totals := make([]float64, w)
+	ns := make([]int, w)
+	tensor.RunParts(w, func(k int) {
+		lo, hi := bounds[k], bounds[k+1]
+		if lo == hi {
+			return
+		}
+		sums[k] = make([]float64, t)
+		counts[k] = make([]int, t)
+		totals[k], ns[k] = m.validateRange(valid, top, lo, hi, sums[k], counts[k])
+	})
 	perDistSum := make([]float64, t)
 	perDistN := make([]int, t)
 	var total float64
 	var n int
-	for e := 0; e < valid.NumQueries(); e++ {
+	for k := 0; k < w; k++ {
+		if sums[k] == nil {
+			continue
+		}
+		total += totals[k]
+		n += ns[k]
+		for i := 0; i < t; i++ {
+			perDistSum[i] += sums[k][i]
+			perDistN[i] += counts[k][i]
+		}
+	}
+	return finishValidate(total, n, perDistSum, perDistN)
+}
+
+// validateRange accumulates validation statistics over queries [lo, hi) into
+// the given per-distance buffers, returning the weighted squared-error total
+// and pair count of the range.
+func (m *Model) validateRange(valid *TrainSet, top, lo, hi int, perDistSum []float64, perDistN []int) (total float64, n int) {
+	for e := lo; e < hi; e++ {
 		ests := m.EstimateAllTaus(valid.X.Row(e))
 		lrow := valid.Labels.Row(e)
 		var prevL, prevE float64
@@ -633,6 +819,12 @@ func (m *Model) validate(valid *TrainSet, top int) (float64, []float64) {
 			perDistN[tau]++
 		}
 	}
+	return total, n
+}
+
+// finishValidate converts accumulated sums into the (MSLE, per-distance ℓᵢ)
+// pair validate returns.
+func finishValidate(total float64, n int, perDistSum []float64, perDistN []int) (float64, []float64) {
 	for i := range perDistSum {
 		if perDistN[i] > 0 {
 			perDistSum[i] /= float64(perDistN[i])
@@ -679,6 +871,8 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 	for i := range perm {
 		perm[i] = i
 	}
+	xb := tensor.NewMatrix(cfg.Batch, train.X.Cols)
+	lb := tensor.NewMatrix(cfg.Batch, train.Labels.Cols)
 
 	res := IncrementalResult{ValidMSLE: cur}
 	stable := 0
@@ -694,13 +888,13 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 				end = len(perm)
 			}
 			rows := perm[start:end]
-			xb := tensor.NewMatrix(len(rows), train.X.Cols)
-			lb := tensor.NewMatrix(len(rows), train.Labels.Cols)
+			xv := xb.RowSlice(0, len(rows))
+			lv := lb.RowSlice(0, len(rows))
 			for i, r := range rows {
-				copy(xb.Row(i), train.X.Row(r))
-				copy(lb.Row(i), train.Labels.Row(r))
+				copy(xv.Row(i), train.X.Row(r))
+				copy(lv.Row(i), train.Labels.Row(r))
 			}
-			epochLoss += m.trainBatch(xb, lb, train.P, omega, top, opt, rng)
+			epochLoss += m.trainBatch(xv, lv, train.P, omega, top, opt, rng)
 			batches++
 		}
 		res.Epochs = epoch + 1

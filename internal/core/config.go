@@ -71,6 +71,18 @@ type Config struct {
 	// Accel selects the CardNet-A fused encoder Φ′ (Section 7).
 	Accel bool
 
+	// Workers is the data-parallel width of Train, IncrementalTrain, and the
+	// VAE pretraining: each minibatch is split into Workers shards whose
+	// forward/backward passes run concurrently on the shared worker pool,
+	// with gradients reduced in shard order. ≤ 1 (including the zero value)
+	// is the sequential trainer, bit-identical to the pre-parallel
+	// implementation. A fixed Workers > 1 run is reproducible — per-shard
+	// VAE noise streams are seeded deterministically and the reduction order
+	// is fixed — but different worker counts are different (equally valid)
+	// training runs, because sharding regroups floating-point sums and
+	// reassigns noise draws.
+	Workers int
+
 	Seed int64
 
 	// Hook, when set, observes every training epoch (telemetry only — it

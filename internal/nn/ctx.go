@@ -1,0 +1,76 @@
+package nn
+
+import "cardnet/internal/tensor"
+
+// Ctx is a per-goroutine forward/backward context: it owns the activation
+// caches a training pass records for its backward pass, and the gradient
+// buffers that backward accumulates into. The data-parallel trainer gives
+// every minibatch shard its own Ctx so concurrent shards can share one set
+// of layer objects (weights are only read) without sharing any mutable
+// training state; after the shards join, their Ctx gradients are reduced
+// into the real Param.Grad buffers in a fixed shard order.
+//
+// A nil *Ctx selects the legacy single-goroutine path: layers cache
+// activations in their own struct fields and accumulate gradients directly
+// into Param.Grad, exactly as before the parallel engine existed. The
+// sequential trainer (Workers ≤ 1) passes nil, which is what keeps it
+// bit-identical to the pre-parallel implementation.
+type Ctx struct {
+	caches map[any]any
+	grads  map[*Param][]float64
+}
+
+// NewCtx returns an empty context.
+func NewCtx() *Ctx {
+	return &Ctx{caches: make(map[any]any), grads: make(map[*Param][]float64)}
+}
+
+// put stores a layer's activation cache under the layer's identity.
+func (c *Ctx) put(layer, cache any) { c.caches[layer] = cache }
+
+// get fetches a layer's activation cache (nil if the layer never ran a
+// training forward through this context).
+func (c *Ctx) get(layer any) any { return c.caches[layer] }
+
+// GradOf returns the gradient buffer for p in this context, allocating a
+// zeroed one on first use. On a nil context it returns p.Grad itself, so
+// legacy callers keep accumulating in place.
+func (c *Ctx) GradOf(p *Param) []float64 {
+	if c == nil {
+		return p.Grad
+	}
+	g, ok := c.grads[p]
+	if !ok {
+		g = make([]float64, len(p.Value))
+		c.grads[p] = g
+	}
+	return g
+}
+
+// AddGradsInto adds this context's accumulated gradients into the real
+// Param.Grad buffers for the given parameters. Callers reduce worker
+// contexts in a fixed order (worker 0, 1, 2, …) so the summation order — and
+// therefore every trained bit — depends only on the worker count, never on
+// goroutine scheduling.
+func (c *Ctx) AddGradsInto(params []*Param) {
+	for _, p := range params {
+		g, ok := c.grads[p]
+		if !ok {
+			continue
+		}
+		dst := p.Grad
+		for i, v := range g {
+			dst[i] += v
+		}
+	}
+}
+
+// CtxLayer is implemented by layers that can run training passes through an
+// external context instead of their own struct caches, which is what makes
+// one layer instance shareable across concurrent training shards. The legacy
+// Forward/Backward methods are the nil-context special case.
+type CtxLayer interface {
+	Layer
+	ForwardCtx(c *Ctx, x *tensor.Matrix, train bool) *tensor.Matrix
+	BackwardCtx(c *Ctx, grad *tensor.Matrix) *tensor.Matrix
+}

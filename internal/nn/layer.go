@@ -63,42 +63,50 @@ func (d *Dense) weightMatrix() *tensor.Matrix {
 	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Value}
 }
 
-func (d *Dense) gradMatrix() *tensor.Matrix {
-	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Grad}
-}
-
 // Forward computes x·Wᵀ + b. The input is cached for Backward only in
 // training mode; inference leaves the layer untouched (goroutine-safe).
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	return d.ForwardCtx(nil, x, train)
+}
+
+// ForwardCtx is Forward with the training cache written into c instead of
+// the layer struct (nil c = legacy struct cache), allowing concurrent
+// training shards to share one Dense instance.
+func (d *Dense) ForwardCtx(c *Ctx, x *tensor.Matrix, train bool) *tensor.Matrix {
 	if train {
-		d.x = x
+		if c == nil {
+			d.x = x
+		} else {
+			c.put(d, x)
+		}
 	}
-	y := tensor.MatMulABT(x, d.weightMatrix(), nil)
+	y := tensor.PMatMulABT(x, d.weightMatrix(), nil)
 	tensor.AddBias(y, d.B.Value)
 	return y
 }
 
 // Backward accumulates dW = dYᵀ·X, dB = colsums(dY) and returns dX = dY·W.
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	return d.BackwardCtx(nil, grad)
+}
+
+// BackwardCtx is Backward reading the activation cache from c and
+// accumulating parameter gradients into c's buffers (nil c = legacy struct
+// cache and direct Param.Grad accumulation).
+func (d *Dense) BackwardCtx(c *Ctx, grad *tensor.Matrix) *tensor.Matrix {
+	x := d.x
+	gwData, gbData := d.W.Grad, d.B.Grad
+	if c != nil {
+		x = c.get(d).(*tensor.Matrix)
+		gwData, gbData = c.GradOf(d.W), c.GradOf(d.B)
+	}
 	// dW (Out×In) += gradᵀ (Out×batch) · x (batch×In)
-	gw := d.gradMatrix()
+	gw := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: gwData}
+	tensor.PMatMulATBAdd(grad, x, gw)
 	for n := 0; n < grad.Rows; n++ {
-		gn := grad.Row(n)
-		xn := d.x.Row(n)
-		for o, gv := range gn {
-			if gv == 0 {
-				continue
-			}
-			row := gw.Row(o)
-			for i, xv := range xn {
-				row[i] += gv * xv
-			}
-		}
+		tensor.Axpy(1, grad.Row(n), gbData)
 	}
-	for n := 0; n < grad.Rows; n++ {
-		tensor.Axpy(1, grad.Row(n), d.B.Grad)
-	}
-	return tensor.MatMul(grad, d.weightMatrix(), nil)
+	return tensor.PMatMul(grad, d.weightMatrix(), nil)
 }
 
 // Params returns the weight and bias parameters.
@@ -172,25 +180,50 @@ func (a *Activation) deriv(x, y float64) float64 {
 	}
 }
 
+// actCache pairs the input/output matrices one training forward recorded.
+type actCache struct {
+	x, y *tensor.Matrix
+}
+
 // Forward applies the activation element-wise. Input/output are cached for
 // Backward only in training mode; inference writes no layer state.
 func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	return a.ForwardCtx(nil, x, train)
+}
+
+// ForwardCtx is Forward with the training cache kept in c (nil c = legacy
+// struct cache).
+func (a *Activation) ForwardCtx(c *Ctx, x *tensor.Matrix, train bool) *tensor.Matrix {
 	y := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = a.Apply(v)
 	}
 	if train {
-		a.x = x
-		a.y = y
+		if c == nil {
+			a.x = x
+			a.y = y
+		} else {
+			c.put(a, actCache{x: x, y: y})
+		}
 	}
 	return y
 }
 
 // Backward multiplies the upstream gradient by the activation derivative.
 func (a *Activation) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	return a.BackwardCtx(nil, grad)
+}
+
+// BackwardCtx is Backward reading the forward cache from c.
+func (a *Activation) BackwardCtx(c *Ctx, grad *tensor.Matrix) *tensor.Matrix {
+	x, y := a.x, a.y
+	if c != nil {
+		cache := c.get(a).(actCache)
+		x, y = cache.x, cache.y
+	}
 	out := tensor.NewMatrix(grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
-		out.Data[i] = g * a.deriv(a.x.Data[i], a.y.Data[i])
+		out.Data[i] = g * a.deriv(x.Data[i], y.Data[i])
 	}
 	return out
 }
@@ -238,6 +271,24 @@ func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// ForwardCtx runs all layers in order through the context. Every layer must
+// implement CtxLayer (all layers in this package do); sharing a Sequential
+// across training shards is only safe through per-shard contexts.
+func (s *Sequential) ForwardCtx(c *Ctx, x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.(CtxLayer).ForwardCtx(c, x, train)
+	}
+	return x
+}
+
+// BackwardCtx runs all layers in reverse through the context.
+func (s *Sequential) BackwardCtx(c *Ctx, grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].(CtxLayer).BackwardCtx(c, grad)
 	}
 	return grad
 }

@@ -1,0 +1,151 @@
+package tensor
+
+// Parallel kernel variants. Each one shards output rows across the package
+// worker pool in contiguous row blocks and is bit-identical to its
+// sequential counterpart: every output element is accumulated by one worker
+// in exactly the sequential order, so no cross-worker reduction (and no
+// floating-point reassociation) ever happens. Inputs below parMinFlops fall
+// through to the sequential kernel so small serving batches don't pay
+// dispatch overhead.
+
+// parMinFlops is the minimum kernel size (in multiply-add flops, counted as
+// 2·m·k·n) worth parallelizing. Dispatching a row block costs on the order
+// of a microsecond; a block should amortize that many times over. A var so
+// the fuzz tests can force tiny inputs through the parallel path.
+var parMinFlops = 1 << 18
+
+// matFlops estimates a kernel's flop count, saturating on overflow-scale
+// dimensions (matrices that large never appear here).
+func matFlops(m, k, n int) int { return 2 * m * k * n }
+
+// PMatMul is the parallel variant of MatMul (out = a·b), sharding output
+// rows across the worker pool. Bit-identical to MatMul for every shape and
+// worker count.
+func PMatMul(a, b, out *Matrix) *Matrix {
+	if Workers() <= 1 || matFlops(a.Rows, a.Cols, b.Cols) < parMinFlops {
+		return MatMul(a, b, out)
+	}
+	if a.Cols != b.Rows {
+		panic("tensor: matmul shape mismatch")
+	}
+	if out == nil {
+		out = NewMatrix(a.Rows, b.Cols)
+	} else {
+		if out.Rows != a.Rows || out.Cols != b.Cols {
+			panic("tensor: matmul out has wrong shape")
+		}
+		out.Zero()
+	}
+	ParallelRows(a.Rows, 1, func(lo, hi int) {
+		matMulRows(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// PMatMulABT is the parallel variant of MatMulABT (out = a·bᵀ), sharding
+// rows of a across the worker pool. Each output element is a per-row Dot
+// whose accumulation order does not depend on the row tiling, so results
+// are bit-identical to MatMulABT (and to per-row Dot calls) at any worker
+// count.
+func PMatMulABT(a, b, out *Matrix) *Matrix {
+	if Workers() <= 1 || matFlops(a.Rows, a.Cols, b.Rows) < parMinFlops {
+		return MatMulABT(a, b, out)
+	}
+	if a.Cols != b.Cols {
+		panic("tensor: matmulABT shape mismatch")
+	}
+	if out == nil {
+		out = NewMatrix(a.Rows, b.Rows)
+	}
+	ParallelRows(a.Rows, 1, func(lo, hi int) {
+		matMulABTRows(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// MatMulATBAdd computes out += aᵀ·b where a is n×r and b is n×c (out r×c,
+// must be preallocated). It is the gradient-accumulation form of MatMulATB
+// used by Dense backward passes (dW += dYᵀ·X): the n-outer loop order keeps
+// both inputs streaming row-contiguously, and zero entries of a skip whole
+// row updates (ReLU-gated gradients are mostly zero).
+func MatMulATBAdd(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulATBAdd shape mismatch")
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: matmulATBAdd out has wrong shape")
+	}
+	for n := 0; n < a.Rows; n++ {
+		an := a.Row(n)
+		bn := b.Row(n)
+		for i, av := range an {
+			if av == 0 {
+				continue
+			}
+			oi := out.Row(i)
+			for j, bv := range bn {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulATBAddCols accumulates output rows [iLo, iHi) of out += aᵀ·b with an
+// i-outer loop. For each output element (i, j) the additions happen in the
+// same ascending-n order (with the same av == 0 skips) as MatMulATBAdd's
+// n-outer loop, so the result is bit-identical — only the traversal order
+// across elements differs, which is what makes output rows independent and
+// shardable.
+func matMulATBAddCols(a, b, out *Matrix, iLo, iHi int) {
+	for i := iLo; i < iHi; i++ {
+		oi := out.Row(i)
+		for n := 0; n < a.Rows; n++ {
+			av := a.Data[n*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			bn := b.Row(n)
+			for j, bv := range bn {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// PMatMulATBAdd is the parallel variant of MatMulATBAdd, sharding output
+// rows (columns of a) across the worker pool. Bit-identical to MatMulATBAdd.
+func PMatMulATBAdd(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulATBAdd shape mismatch")
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: matmulATBAdd out has wrong shape")
+	}
+	if Workers() <= 1 || matFlops(a.Rows, a.Cols, b.Cols) < parMinFlops {
+		MatMulATBAdd(a, b, out)
+		return
+	}
+	ParallelRows(a.Cols, 1, func(lo, hi int) {
+		matMulATBAddCols(a, b, out, lo, hi)
+	})
+}
+
+// PMatMulATB is the parallel variant of MatMulATB (out = aᵀ·b), sharding
+// output rows across the worker pool. Bit-identical to MatMulATB.
+func PMatMulATB(a, b, out *Matrix) *Matrix {
+	if Workers() <= 1 || matFlops(a.Rows, a.Cols, b.Cols) < parMinFlops {
+		return MatMulATB(a, b, out)
+	}
+	if a.Rows != b.Rows {
+		panic("tensor: matmulATB shape mismatch")
+	}
+	if out == nil {
+		out = NewMatrix(a.Cols, b.Cols)
+	} else {
+		out.Zero()
+	}
+	ParallelRows(a.Cols, 1, func(lo, hi int) {
+		matMulATBAddCols(a, b, out, lo, hi)
+	})
+	return out
+}

@@ -51,6 +51,17 @@ func (m *Matrix) Row(i int) []float64 {
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
+// RowSlice returns rows [lo, hi) as a matrix view aliasing the storage of m
+// (rows are contiguous, so no copy is needed). Writes through the view are
+// visible in m; the data-parallel trainer uses disjoint views as zero-copy
+// minibatch shards.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: rowslice [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
@@ -81,8 +92,16 @@ func MatMul(a, b, out *Matrix) *Matrix {
 		}
 		out.Zero()
 	}
-	// ikj loop order keeps the inner loop contiguous in b and out.
-	for i := 0; i < a.Rows; i++ {
+	matMulRows(a, b, out, 0, a.Rows)
+	return out
+}
+
+// matMulRows runs the MatMul inner loops over output rows [lo, hi), which
+// must already be zeroed. The ikj loop order keeps the inner loop contiguous
+// in b and out. Row blocks are independent, so the parallel variant shards
+// this helper and stays bit-identical to the sequential kernel.
+func matMulRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
 		oi := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -96,7 +115,6 @@ func MatMul(a, b, out *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulATB computes out = aᵀ·b where a is n×r and b is n×c (out is r×c).
@@ -150,10 +168,19 @@ func MatMulABT(a, b, out *Matrix) *Matrix {
 	if out == nil {
 		out = NewMatrix(a.Rows, b.Rows)
 	}
-	for i0 := 0; i0 < a.Rows; i0 += abtRowTile {
+	matMulABTRows(a, b, out, 0, a.Rows)
+	return out
+}
+
+// matMulABTRows runs the tiled MatMulABT loops over output rows [lo, hi).
+// Each output element is a per-row Dot whose accumulation order is
+// independent of the tile boundaries, so any row sharding (including the
+// parallel variant's) produces bit-identical results.
+func matMulABTRows(a, b, out *Matrix, lo, hi int) {
+	for i0 := lo; i0 < hi; i0 += abtRowTile {
 		i1 := i0 + abtRowTile
-		if i1 > a.Rows {
-			i1 = a.Rows
+		if i1 > hi {
+			i1 = hi
 		}
 		for j := 0; j < b.Rows; j++ {
 			bj := b.Row(j)
@@ -170,7 +197,6 @@ func MatMulABT(a, b, out *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // dot4 returns (Dot(a0,b), Dot(a1,b), Dot(a2,b), Dot(a3,b)). Each sum uses
