@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci lint staticcheck vet build test race-serving race-obs race-train bench-obs bench-serving bench-train
+.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train bench-obs bench-serving bench-train
 
-ci: lint staticcheck vet build test race-serving race-obs race-train
+ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -23,6 +23,12 @@ staticcheck:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation contracts: exported identifiers in the ops-facing packages
+# carry doc comments, and docs/RUNBOOK.md's flag reference matches the flags
+# cmd/cardnet actually defines (both directions). See cmd/docslint.
+docs-lint:
+	$(GO) run ./cmd/docslint
 
 build:
 	$(GO) build ./...

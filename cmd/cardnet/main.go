@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	cardnet -mode train -dataset HM-ImageNet -out model.gob
+//	cardnet -mode train -dataset HM-ImageNet -model model.gob
+//	cardnet -mode train -dataset HM-ImageNet -model model.gob -resume
 //	cardnet -mode estimate -dataset HM-ImageNet -model model.gob -queries 20
 //	cardnet -mode update -dataset HM-ImageNet -model model.gob
 //	cardnet -mode serve -model model.gob -addr :8089
@@ -14,7 +15,13 @@
 //	cardnet -mode trainbench -dataset HM-ImageNet -benchout results/BENCH_train.json
 //
 // Train and update write a per-epoch JSONL training log (default
-// <model>.train.jsonl; -trainlog off disables). Serve runs the
+// <model>.train.jsonl; -trainlog off disables) and durable checkpoints
+// (default <model>.ckpt directory; tune with -ckpt-dir/-ckpt-every/
+// -ckpt-retain). SIGINT/SIGTERM stop the run at the next epoch boundary with
+// that epoch checkpointed; -resume continues bit-identically from the newest
+// usable checkpoint, given the same dataset flags. Finished models are
+// published atomically (temp file + fsync + rename with a CRC-checked
+// header), so the serve loader never sees a torn file. Serve runs the
 // internal/serving batched engine (micro-batching, admission control,
 // estimate cache, hot model swap — tune with -maxbatch/-maxwait/-queue/
 // -workers/-cache) and exposes POST/GET /estimate, POST /admin/reload,
@@ -31,9 +38,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cardnet/internal/bench"
+	"cardnet/internal/checkpoint"
 	"cardnet/internal/core"
 	"cardnet/internal/dataset"
 	"cardnet/internal/metrics"
@@ -65,6 +75,10 @@ func main() {
 	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve: fraction of requests whose traces are written to -tracelog")
 	traceLog := flag.String("tracelog", "off", `serve: JSONL request-trace log path ("off" = disabled)`)
 	auditRate := flag.Float64("audit-sample-rate", 0, "serve: fraction of estimates replayed against the exact oracle (Hamming datasets only; 0 = off)")
+	resume := flag.Bool("resume", false, "train/update: continue from the newest checkpoint in -ckpt-dir (same dataset flags required)")
+	ckptDir := flag.String("ckpt-dir", "", `train/update: checkpoint directory ("" = <model>.ckpt, "off" = disable checkpointing)`)
+	ckptEvery := flag.Int("ckpt-every", 1, "train/update: write a checkpoint every N epochs")
+	ckptRetain := flag.Int("ckpt-retain", 3, "train/update: checkpoints kept on disk (older ones are pruned)")
 	flag.Parse()
 
 	serveCfg := serving.Config{
@@ -88,17 +102,41 @@ func main() {
 	switch *mode {
 	case "train":
 		b := buildBundle()
-		cfg := core.DefaultConfig(b.TauMax)
-		cfg.Accel = *accel
-		cfg.Seed = *seed
-		cfg.Workers = resolveTrainWorkers(*workers)
-		tensor.SetWorkers(cfg.Workers)
 		sink, closeSink := openTrainLog(*trainLog, *modelPath)
+		var hook core.TrainHook
 		if sink != nil {
-			cfg.Hook = trainLogHook(sink, *dsName)
+			hook = trainLogHook(sink, *dsName)
 		}
-		m := core.New(cfg, b.Train.X.Cols)
-		res := m.Train(b.Train, b.Valid)
+		ckDir := resolveCkptDir(*ckptDir, *modelPath)
+
+		var m *core.Model
+		var res core.TrainResult
+		var ck *checkpoint.Checkpointer
+		if *resume {
+			st := loadLatestState(requireStore(ckDir, *ckptRetain, "train"), core.PhaseTrain)
+			var err error
+			m, err = core.RestoreTrainer(st)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+			ck = attachCheckpointer(&m.Cfg, ckDir, *ckptEvery, *ckptRetain, hook)
+			tensor.SetWorkers(m.Cfg.Workers)
+			res, err = m.ResumeTrain(b.Train, b.Valid, st)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+		} else {
+			cfg := core.DefaultConfig(b.TauMax)
+			cfg.Accel = *accel
+			cfg.Seed = *seed
+			cfg.Workers = resolveTrainWorkers(*workers)
+			tensor.SetWorkers(cfg.Workers)
+			cfg.Hook = hook
+			ck = attachCheckpointer(&cfg, ckDir, *ckptEvery, *ckptRetain, hook)
+			m = core.New(cfg, b.Train.X.Cols)
+			res = m.Train(b.Train, b.Valid)
+		}
+		reportCkptErr(ck)
 		log.Printf("trained %d epochs, best validation MSLE %.4f, model %d KB",
 			res.Epochs, res.BestValidMSLE, m.SizeBytes()/1024)
 		if sink != nil {
@@ -107,6 +145,10 @@ func main() {
 			}
 		}
 		closeSink()
+		if res.Interrupted {
+			log.Printf("interrupted at epoch %d; model not published — rerun with -resume to continue from %s", res.Epochs, ckDir)
+			os.Exit(3)
+		}
 		if err := saveModel(m, *modelPath); err != nil {
 			log.Fatalf("save model: %v", err)
 		}
@@ -128,13 +170,12 @@ func main() {
 		}
 		fmt.Println(metrics.Evaluate(actual, est))
 	case "update":
-		m := load(*modelPath)
-		m.Cfg.Workers = resolveTrainWorkers(*workers)
-		tensor.SetWorkers(m.Cfg.Workers)
 		sink, closeSink := openTrainLog(*trainLog, *modelPath)
+		var hook core.TrainHook
 		if sink != nil {
-			m.Cfg.Hook = trainLogHook(sink, *dsName)
+			hook = trainLogHook(sink, *dsName)
 		}
+		ckDir := resolveCkptDir(*ckptDir, *modelPath)
 		// Relabel against a perturbed dataset (fresh seed) and incrementally
 		// retrain, then report the validation error trajectory.
 		spec2 := spec
@@ -142,10 +183,39 @@ func main() {
 		opts2 := opts
 		opts2.Seed += 31
 		suite2 := bench.BuildSuite(spec2, opts2)
-		res := m.IncrementalTrain(suite2.Bundle.Train, suite2.Bundle.Valid, 0)
+
+		var m *core.Model
+		var res core.IncrementalResult
+		var ck *checkpoint.Checkpointer
+		if *resume {
+			st := loadLatestState(requireStore(ckDir, *ckptRetain, "update"), core.PhaseIncremental)
+			var err error
+			m, err = core.RestoreTrainer(st)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+			ck = attachCheckpointer(&m.Cfg, ckDir, *ckptEvery, *ckptRetain, hook)
+			tensor.SetWorkers(m.Cfg.Workers)
+			res, err = m.ResumeIncrementalTrain(suite2.Bundle.Train, suite2.Bundle.Valid, st)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+		} else {
+			m = load(*modelPath)
+			m.Cfg.Workers = resolveTrainWorkers(*workers)
+			tensor.SetWorkers(m.Cfg.Workers)
+			m.Cfg.Hook = hook
+			ck = attachCheckpointer(&m.Cfg, ckDir, *ckptEvery, *ckptRetain, hook)
+			res = m.IncrementalTrain(suite2.Bundle.Train, suite2.Bundle.Valid, 0)
+		}
+		reportCkptErr(ck)
 		log.Printf("incremental learning: %d epochs, validation MSLE %.4f (skipped=%v)",
 			res.Epochs, res.ValidMSLE, res.Skipped)
 		closeSink()
+		if res.Interrupted {
+			log.Printf("interrupted at epoch %d; model not published — rerun with -resume to continue from %s", res.Epochs, ckDir)
+			os.Exit(3)
+		}
 		if err := saveModel(m, *modelPath); err != nil {
 			log.Fatalf("save model: %v", err)
 		}
@@ -261,18 +331,112 @@ func main() {
 	}
 }
 
-// saveModel writes the model and fails on the file Close error too: a short
-// write surfacing only at close must not silently truncate the saved model.
+// saveModel publishes the model through the checkpoint package's framed
+// atomic writer: temp file + fsync + rename, with a CRC-checked header. The
+// serving loader (startup and /admin/reload) can therefore never observe a
+// torn model file, even if this process dies mid-save.
 func saveModel(m *core.Model, path string) error {
-	f, err := os.Create(path)
+	return checkpoint.SaveModel(path, m)
+}
+
+// resolveCkptDir maps the -ckpt-dir flag to a checkpoint directory: "" puts
+// checkpoints next to the model file (<model>.ckpt), "off" disables
+// checkpointing entirely (returned as "").
+func resolveCkptDir(flagVal, modelPath string) string {
+	switch flagVal {
+	case "off":
+		return ""
+	case "":
+		return modelPath + ".ckpt"
+	default:
+		return flagVal
+	}
+}
+
+// requireStore opens the checkpoint store for a -resume run, failing with a
+// usage hint when checkpointing is disabled.
+func requireStore(dir string, retain int, mode string) *checkpoint.Store {
+	if dir == "" {
+		log.Fatalf("%s: -resume needs checkpointing (-ckpt-dir must not be off)", mode)
+	}
+	store, err := checkpoint.OpenStore(dir, retain)
 	if err != nil {
-		return err
+		log.Fatalf("open checkpoint store: %v", err)
 	}
-	if err := m.Save(f); err != nil {
-		f.Close()
-		return err
+	return store
+}
+
+// loadLatestState loads the newest usable checkpoint from a store, logging
+// any newer files skipped as corrupt, and verifies it belongs to the phase
+// being resumed ("train" checkpoints resume with -mode train, "incremental"
+// ones with -mode update).
+func loadLatestState(store *checkpoint.Store, phase string) *core.TrainerState {
+	st, seq, skipped, err := checkpoint.LoadLatest(store)
+	if err != nil {
+		log.Fatalf("resume: %v", err)
 	}
-	return f.Close()
+	for _, s := range skipped {
+		log.Printf("resume: checkpoint %d is corrupt or unreadable, falling back", s)
+	}
+	if st.Phase != phase {
+		mode := "train"
+		if st.Phase == core.PhaseIncremental {
+			mode = "update"
+		}
+		log.Fatalf("resume: checkpoint %d in %s is from a %q run — resume it with -mode %s", seq, store.Dir(), st.Phase, mode)
+	}
+	log.Printf("resume: continuing from checkpoint %d (epoch %d) in %s", seq, st.Epoch, store.Dir())
+	return st
+}
+
+// attachCheckpointer wires durable checkpointing and graceful-shutdown
+// handling into a training config: the returned Checkpointer persists state
+// through cfg.Hook (chained after the training-log hook) every `every`
+// epochs, and SIGINT/SIGTERM request a cooperative stop through cfg.Stop so
+// the run halts at an epoch boundary with that epoch checkpointed. Returns
+// nil (and leaves cfg untouched) when dir is empty, i.e. -ckpt-dir off.
+func attachCheckpointer(cfg *core.Config, dir string, every, retain int, hook core.TrainHook) *checkpoint.Checkpointer {
+	if dir == "" {
+		return nil
+	}
+	store, err := checkpoint.OpenStore(dir, retain)
+	if err != nil {
+		log.Fatalf("open checkpoint store: %v", err)
+	}
+	ck := checkpoint.NewCheckpointer(store, every)
+	cfg.Hook = ck.Hook(hook)
+	cfg.Stop = ck.StopRequested
+	stopOnSignal(ck)
+	log.Printf("checkpointing to %s every %d epoch(s), retaining %d", dir, every, retain)
+	return ck
+}
+
+// stopOnSignal turns the first SIGINT/SIGTERM into a cooperative stop
+// request: the trainer finishes the current epoch, the checkpoint hook
+// flushes that epoch's state, and the process exits cleanly with resume
+// instructions. A second signal falls through to the default handler and
+// kills the process immediately (resume then loses at most the in-flight
+// epoch).
+func stopOnSignal(ck *checkpoint.Checkpointer) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		log.Printf("%v: stopping at the next epoch boundary (send again to kill)", s)
+		ck.RequestStop()
+		signal.Stop(ch)
+	}()
+}
+
+// reportCkptErr surfaces checkpoint-write failures after a run; they cannot
+// abort training from inside a hook, so they are reported here instead.
+func reportCkptErr(ck *checkpoint.Checkpointer) {
+	if ck == nil {
+		return
+	}
+	if err := ck.Err(); err != nil {
+		log.Printf("warning: checkpoint write failed: %v", err)
+	}
 }
 
 // openTrainLog resolves the -trainlog flag into a JSONL sink. The returned
@@ -349,14 +513,11 @@ func buildAuditOracle(spec dataset.Spec, n, inDim int) *simselect.EncodedOracle 
 }
 
 // loadModel reads a model file saved by saveModel (also the /admin/reload
-// path, hence the error return).
+// path, hence the error return). Frame verification means a truncated or
+// torn file is rejected here instead of decoding into a broken model; bare
+// gob files from before the framed format still load.
 func loadModel(path string) (*core.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.Load(f)
+	return checkpoint.LoadModel(path)
 }
 
 func load(path string) *core.Model {

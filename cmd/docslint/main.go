@@ -1,0 +1,250 @@
+// Command docslint enforces the repo's documentation contracts. It is run by
+// `make docs-lint` (part of `make ci`) and checks two things:
+//
+//  1. Every exported top-level identifier (types, funcs, methods, consts,
+//     vars) in the operations-facing packages — internal/checkpoint,
+//     internal/serving, internal/obs, internal/obs/monitor — carries a doc
+//     comment, and every package has package documentation.
+//
+//  2. The flag reference in docs/RUNBOOK.md matches cmd/cardnet: every flag
+//     defined in the command appears (as `-name`) in the RUNBOOK's
+//     "## Flag reference" section, and every flag the section mentions is
+//     actually defined — stale runbooks fail the build in both directions.
+//
+// Exit status is non-zero with one line per violation. No dependencies
+// beyond the standard library (go/ast, go/parser).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// docPackages are the directories whose exported identifiers must be
+// documented.
+var docPackages = []string{
+	"internal/checkpoint",
+	"internal/serving",
+	"internal/obs",
+	"internal/obs/monitor",
+}
+
+const (
+	cmdDir      = "cmd/cardnet"
+	runbookPath = "docs/RUNBOOK.md"
+	flagSection = "## Flag reference"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	for _, dir := range docPackages {
+		p, err := checkPackageDocs(filepath.Join(root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	p, err := checkRunbookFlags(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, p...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docslint: ok")
+}
+
+// checkPackageDocs parses one package directory (tests excluded) and reports
+// every exported top-level declaration without a doc comment, plus a missing
+// package comment.
+func checkPackageDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+			problems = append(problems, checkFileDocs(fset, f)...)
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkFileDocs reports undocumented exported declarations in one file.
+func checkFileDocs(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || methodOfUnexported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the const/var block covers its members;
+					// otherwise each exported name needs its own (line comments
+					// count, matching gofmt'd small-const style).
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(s.Pos(), "const/var", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// methodOfUnexported reports whether d is a method whose receiver type is
+// unexported (its API surface is invisible, so godoc does not list it).
+func methodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// flagDefRe matches flag definitions like flag.String("name", ...).
+var flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int64|Int|Float64|Duration)\(\s*"([^"]+)"`)
+
+// runbookFlagRe matches backticked flag mentions like `-ckpt-dir` in the
+// RUNBOOK's flag-reference section.
+var runbookFlagRe = regexp.MustCompile("`-([a-z][a-z0-9-]*)`")
+
+// checkRunbookFlags cross-checks cmd/cardnet's flag definitions against the
+// RUNBOOK's flag-reference section, in both directions.
+func checkRunbookFlags(root string) ([]string, error) {
+	defined, err := definedFlags(filepath.Join(root, cmdDir))
+	if err != nil {
+		return nil, err
+	}
+	documented, err := runbookFlags(filepath.Join(root, runbookPath))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for name := range defined {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf("%s: flag -%s (defined in %s) is missing from the %q section", runbookPath, name, cmdDir, flagSection))
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			problems = append(problems, fmt.Sprintf("%s: flag -%s is documented but not defined in %s", runbookPath, name, cmdDir))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// definedFlags scans the command's source for flag definitions.
+func definedFlags(dir string) (map[string]bool, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(src), -1) {
+			out[m[1]] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no flag definitions found in %s", dir)
+	}
+	return out, nil
+}
+
+// runbookFlags extracts the backticked flag names from the RUNBOOK's
+// "## Flag reference" section (only that section: elsewhere the runbook
+// mentions flags of other tools, e.g. go test's -race).
+func runbookFlags(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read %s (the ops runbook must exist): %w", path, err)
+	}
+	_, rest, found := strings.Cut(string(raw), flagSection)
+	if !found {
+		return nil, fmt.Errorf("%s has no %q section", path, flagSection)
+	}
+	// The section runs to the next same-level heading.
+	if i := strings.Index(rest, "\n## "); i >= 0 {
+		rest = rest[:i]
+	}
+	out := map[string]bool{}
+	for _, m := range runbookFlagRe.FindAllStringSubmatch(rest, -1) {
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: %q section documents no flags", path, flagSection)
+	}
+	return out, nil
+}

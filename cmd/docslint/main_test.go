@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPackageDocs(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), `// Package p is documented.
+package p
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bad struct{}
+
+// ok covers the block.
+const (
+	A = 1
+	B = 2
+)
+
+func internal() {}
+
+type hidden struct{}
+
+// String is exported but hangs off an unexported type: not API surface.
+func (hidden) String() string { return "" }
+`)
+	problems, err := checkPackageDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range problems {
+		names = append(names, p)
+	}
+	joined := strings.Join(names, "\n")
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), joined)
+	}
+	if !strings.Contains(joined, "Undocumented") || !strings.Contains(joined, "Bad") {
+		t.Fatalf("wrong problems:\n%s", joined)
+	}
+}
+
+func TestCheckPackageDocsMissingPackageComment(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), "package p\n")
+	problems, err := checkPackageDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no package doc comment") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCheckRunbookFlags(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, cmdDir, "main.go"), `package main
+
+import "flag"
+
+var (
+	a = flag.String("alpha", "", "")
+	b = flag.Int("beta", 0, "")
+	c = flag.Bool("gamma", false, "")
+)
+`)
+	write(t, filepath.Join(root, runbookPath), "# Runbook\n\nProse mentions `-race` freely.\n\n"+
+		flagSection+"\n\n| `-alpha` | x |\n| `-beta` | y |\n| `-stale` | gone |\n\n## Next section\n\n`-not-counted`\n")
+	problems, err := checkRunbookFlags(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), joined)
+	}
+	if !strings.Contains(joined, "-gamma") || !strings.Contains(joined, "-stale") {
+		t.Fatalf("wrong problems:\n%s", joined)
+	}
+}
+
+// TestRepoIsClean runs the real checks against this repository — the same
+// gate as `make docs-lint`.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	for _, dir := range docPackages {
+		problems, err := checkPackageDocs(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+	problems, err := checkRunbookFlags(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,15 @@
+// Package bench is the experiment harness: it prepares workloads (datasets,
+// feature extraction, exact labels, splits), trains every model of Section
+// 9.1.2 behind uniform handles, and regenerates each table and figure of the
+// paper's evaluation as text output. cmd/cardbench and the repository-root
+// benchmarks drive it.
+//
+// The harness composes the rest of the repository: internal/dataset
+// generates the workload, internal/feature encodes (x, θ) pairs,
+// internal/simselect computes exact labels, internal/core and
+// internal/baselines supply the estimators, and internal/metrics scores
+// them (MSE, MAPE, mean q-error — the paper's Section 9.1.4 measures).
+// Workload construction is wrapped in a Bundle so the cardnet command's
+// train/estimate/update/bench modes and the table reproductions all see the
+// same splits.
+package bench

@@ -1,8 +1,3 @@
-// Package bench is the experiment harness: it prepares workloads (datasets,
-// feature extraction, exact labels, splits), trains every model of Section
-// 9.1.2 behind uniform handles, and regenerates each table and figure of the
-// paper's evaluation as text output. cmd/cardbench and the repository-root
-// benchmarks drive it.
 package bench
 
 import (

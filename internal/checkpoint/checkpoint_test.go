@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	payload := []byte("some payload bytes")
+	if err := WriteFileAtomic(path, KindTrainer, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, KindTrainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	// Wrong kind is rejected with a non-corrupt error.
+	if _, err := ReadFile(path, KindModel); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-kind read: %v", err)
+	}
+}
+
+func TestReadFileDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	payload := bytes.Repeat([]byte("abc"), 100)
+	write := func() {
+		if err := WriteFileAtomic(path, KindTrainer, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Truncated mid-payload.
+	write()
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-10], 0o644)
+	if _, err := ReadFile(path, KindTrainer); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: got %v, want ErrCorrupt", err)
+	}
+
+	// Truncated inside the header.
+	write()
+	os.WriteFile(path, raw[:10], 0o644)
+	if _, err := ReadFile(path, KindTrainer); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("header-truncated file: got %v, want ErrCorrupt", err)
+	}
+
+	// Bit flip in the payload (CRC mismatch).
+	write()
+	raw, _ = os.ReadFile(path)
+	raw[len(raw)-5] ^= 0x40
+	os.WriteFile(path, raw, 0o644)
+	if _, err := ReadFile(path, KindTrainer); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped file: got %v, want ErrCorrupt", err)
+	}
+
+	// Not a checkpoint file at all.
+	os.WriteFile(path, []byte("junk that is not framed"), 0o644)
+	if _, err := ReadFile(path, KindTrainer); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("junk file: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFileAtomic(filepath.Join(dir, "m.gob"), KindModel, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "m.gob" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+}
+
+func TestStoreRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := s.Seqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 3 || seqs[2] != 5 {
+		t.Fatalf("retained seqs = %v, want [3 4 5]", seqs)
+	}
+
+	// Reopening continues the sequence instead of reusing numbers.
+	s2, err := OpenStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s2.Save([]byte{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("seq after reopen = %d, want 6", seq)
+	}
+}
+
+func TestStoreLatestFallsBackPastCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Save([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest (simulating a torn write that somehow got renamed,
+	// or a bad disk block), truncate the middle one.
+	os.WriteFile(s.path(3), []byte("CKPTgarbage"), 0o644)
+	raw, _ := os.ReadFile(s.path(2))
+	os.WriteFile(s.path(2), raw[:len(raw)-1], 0o644)
+
+	payload, seq, skipped, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || !bytes.Equal(payload, []byte{1}) {
+		t.Fatalf("Latest = seq %d payload %v, want seq 1 [1]", seq, payload)
+	}
+	if len(skipped) != 2 || skipped[0] != 3 || skipped[1] != 2 {
+		t.Fatalf("skipped = %v, want [3 2]", skipped)
+	}
+}
+
+func TestStoreLatestAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(s.path(1), []byte("x"), 0o644)
+	if _, _, _, err := s.Latest(); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("all-corrupt Latest: got %v, want ErrNotExist", err)
+	}
+}
+
+func TestStoreIgnoresTempAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Orphan temp file from a crashed write, plus unrelated files.
+	os.WriteFile(filepath.Join(dir, ".ckpt-00000009.ckpt.tmp-123"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+	seqs, err := s.Seqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("seqs = %v, want [1]", seqs)
+	}
+}

@@ -1,0 +1,41 @@
+// Package checkpoint provides durable, crash-safe persistence for training
+// runs and published models.
+//
+// Training in this system can take hours at paper scale (Section 9.1.3's
+// configuration trains for 800 epochs), so the trainer must survive
+// interruption: internal/core captures complete resumable state at every
+// epoch boundary (core.TrainerState — weights, Adam moments, dynamic ω, RNG
+// stream position, counters), and this package makes that state durable.
+//
+// Three layers:
+//
+//   - File framing (WriteFileAtomic / ReadFile): every checkpoint is a single
+//     file written to a temporary name in the destination directory, fsynced,
+//     atomically renamed into place, and the directory fsynced — a crash at
+//     any point leaves either the previous file or the new one, never a torn
+//     mix. Files carry a fixed header (magic, format version, a 4-byte kind
+//     tag, payload length, CRC32) so truncation and corruption are detected
+//     on read and reported as ErrCorrupt rather than decoded into garbage.
+//
+//   - The Store: a directory of numbered checkpoints (ckpt-00000001.ckpt, …)
+//     with retained-N rotation — each Save prunes the oldest files beyond the
+//     retention budget, and LoadLatest walks backward past corrupt or
+//     unreadable files to the newest checkpoint that verifies, so a crash
+//     mid-write (or a bad disk block) costs at most one checkpoint interval,
+//     not the run.
+//
+//   - The Checkpointer: a core.TrainHook consumer that persists the trainer
+//     state every N epochs and on interruption. Its StopRequested method is
+//     the Config.Stop half of graceful shutdown: cmd/cardnet points SIGTERM
+//     at RequestStop, the trainer finishes the current epoch, the hook
+//     flushes that exact epoch's state, and `cardnet train -resume` continues
+//     bit-identically (locked by the kill-and-resume tests here and in
+//     internal/core).
+//
+// Published models go through the same framed atomic writer (SaveModel /
+// LoadModel), so the serving loader (serve startup and POST /admin/reload)
+// can never observe a torn model file: the rename either happened or it did
+// not, and a truncated copy fails the CRC instead of loading silently.
+// LoadModel still accepts the bare gob files produced by earlier versions of
+// this repo.
+package checkpoint

@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"cardnet/internal/core"
+)
+
+// SaveModel publishes a trained model at path through the framed atomic
+// writer: the serving loader (startup and /admin/reload) can never observe a
+// torn or partially-written model file, and a copy truncated in transit fails
+// the CRC instead of decoding silently.
+func SaveModel(path string, m *core.Model) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return fmt.Errorf("checkpoint: encode model: %w", err)
+	}
+	return WriteFileAtomic(path, KindModel, buf.Bytes())
+}
+
+// LoadModel loads a model published by SaveModel, verifying the frame. Files
+// from before the framing format (bare gob, as core.Model.Save emits) are
+// still accepted: anything without the frame magic is handed to the legacy
+// decoder, which fails loudly on truncation rather than yielding a partial
+// model.
+func LoadModel(path string) (*core.Model, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 4 && string(raw[0:4]) == fileMagic {
+		payload, kind, err := decodeFrame(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		if kind != KindModel {
+			return nil, fmt.Errorf("checkpoint: %s holds a %q frame, not a model — point -model at a published model file", path, kind)
+		}
+		return core.Load(bytes.NewReader(payload))
+	}
+	m, err := core.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s is neither a framed nor a legacy model file: %w", path, err)
+	}
+	return m, nil
+}

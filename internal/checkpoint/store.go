@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Store is a directory of numbered trainer checkpoints with retained-N
+// rotation. File names are ckpt-%08d.ckpt; the sequence number increases
+// monotonically across Saves (it continues from the highest existing file, so
+// reopening a store never reuses a number). Temporary files from in-flight or
+// crashed writes start with "." and are ignored by scans.
+type Store struct {
+	dir    string
+	retain int
+	next   uint64
+}
+
+const ckptExt = ".ckpt"
+
+// OpenStore opens (creating if needed) a checkpoint directory retaining at
+// most retain files; retain < 1 is treated as 1.
+func OpenStore(dir string, retain int) (*Store, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store dir: %w", err)
+	}
+	s := &Store{dir: dir, retain: retain}
+	seqs, err := s.Seqs()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		s.next = seqs[len(seqs)-1] + 1
+	} else {
+		s.next = 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the file name for a sequence number.
+func (s *Store) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d%s", seq, ckptExt))
+}
+
+// Seqs lists the sequence numbers present in the store, ascending. Files that
+// do not match the naming scheme (including "."-prefixed temporaries) are
+// ignored.
+func (s *Store) Seqs() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: scan store: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%08d"+ckptExt, &seq); err != nil {
+			continue
+		}
+		if e.Name() != fmt.Sprintf("ckpt-%08d%s", seq, ckptExt) {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Save durably writes payload as the next numbered checkpoint and prunes the
+// oldest files beyond the retention budget. It returns the sequence number
+// written. Pruning failures are ignored (stale files cost disk, not
+// correctness); the write itself is atomic and fsynced.
+func (s *Store) Save(payload []byte) (uint64, error) {
+	seq := s.next
+	if err := WriteFileAtomic(s.path(seq), KindTrainer, payload); err != nil {
+		return 0, err
+	}
+	s.next = seq + 1
+	if seqs, err := s.Seqs(); err == nil && len(seqs) > s.retain {
+		for _, old := range seqs[:len(seqs)-s.retain] {
+			os.Remove(s.path(old))
+		}
+	}
+	return seq, nil
+}
+
+// Read returns the verified payload of one checkpoint by sequence number.
+func (s *Store) Read(seq uint64) ([]byte, error) {
+	return ReadFile(s.path(seq), KindTrainer)
+}
+
+// Latest returns the newest checkpoint whose frame verifies, walking backward
+// past corrupt or unreadable files. It returns the payload, its sequence
+// number, and the list of newer sequence numbers that were skipped as
+// corrupt (for the caller to log). os.ErrNotExist is returned when the store
+// holds no loadable checkpoint at all.
+func (s *Store) Latest() (payload []byte, seq uint64, skipped []uint64, err error) {
+	seqs, err := s.Seqs()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		p, rerr := s.Read(seqs[i])
+		if rerr == nil {
+			return p, seqs[i], skipped, nil
+		}
+		skipped = append(skipped, seqs[i])
+	}
+	return nil, 0, skipped, fmt.Errorf("checkpoint: no loadable checkpoint in %s: %w", s.dir, os.ErrNotExist)
+}

@@ -447,6 +447,7 @@ type TrainResult struct {
 	Epochs         int
 	BestValidMSLE  float64
 	FinalTrainLoss float64
+	Interrupted    bool // Config.Stop requested an early exit; the run is resumable from its last checkpoint
 }
 
 // Train fits the model: the VAE is pretrained unsupervised for
@@ -457,12 +458,31 @@ type TrainResult struct {
 // and contribute ReLU(b)=0 after training pushes biases down, so estimates
 // remain monotone regardless.
 func (m *Model) Train(train, valid *TrainSet) TrainResult {
-	cfg := m.Cfg
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	res, err := m.runTrain(train, valid, nil)
+	if err != nil {
+		// Unreachable for fresh runs: errors only arise restoring a state.
+		panic("core: " + err.Error())
+	}
+	return res
+}
 
-	m.TauTop = train.TauTop
-	if m.vae != nil {
-		m.vae.PretrainWorkers(train.X, cfg.VAEEpochs, cfg.Batch, cfg.LR, rng, m.workers())
+// runTrain is the Train loop, optionally continuing from a checkpointed
+// state: with st == nil it is the fresh run (VAE pretraining, uniform ω,
+// epoch 0); with a state it restores weights, Adam moments, ω, early-stop
+// counters, and the RNG stream position, then continues at the next epoch —
+// bit-identically to a run that was never interrupted, because every
+// stochastic draw bottoms out in the counted source.
+func (m *Model) runTrain(train, valid *TrainSet, st *TrainerState) (TrainResult, error) {
+	cfg := m.Cfg
+	src := newCountingSource(cfg.Seed + 1)
+	rng := rand.New(src)
+	dataHash := hashTrainData(train, valid)
+
+	if st == nil {
+		m.TauTop = train.TauTop
+		if m.vae != nil {
+			m.vae.PretrainWorkers(train.X, cfg.VAEEpochs, cfg.Batch, cfg.LR, rng, m.workers())
+		}
 	}
 
 	params := m.Params()
@@ -486,18 +506,42 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 	res := TrainResult{BestValidMSLE: math.Inf(1)}
 	var best *nn.Snapshot
 	badStreak := 0
+	startEpoch := 0
+
+	if st != nil {
+		if err := st.Params.Restore(params); err != nil {
+			return res, fmt.Errorf("core: restore weights: %w", err)
+		}
+		if err := opt.SetState(st.Opt); err != nil {
+			return res, fmt.Errorf("core: restore optimizer: %w", err)
+		}
+		m.TauTop = st.TauTop
+		src.Skip(st.RNGDraws) // replay the stream to the interruption point
+		copy(omega, st.Omega)
+		copy(prevValidPerDist, st.PrevPerDist)
+		havePrev = st.HavePrev
+		best = st.Best
+		res.BestValidMSLE = st.BestValidMSLE
+		res.FinalTrainLoss = st.FinalTrainLoss
+		res.Epochs = st.Epoch
+		badStreak = st.BadStreak
+		startEpoch = st.Epoch
+	}
 
 	perm := make([]int, train.NumQueries())
-	for e := range perm {
-		perm[e] = e
-	}
 	// Minibatch scratch, reused across every step of every epoch (a RowSlice
 	// view trims the final short batch).
 	xb := tensor.NewMatrix(cfg.Batch, train.X.Cols)
 	lb := tensor.NewMatrix(cfg.Batch, train.Labels.Cols)
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
+		// The epoch's visit order is a pure function of the RNG stream
+		// position (identity reshuffled, not a cumulative shuffle), so a
+		// resumed run reproduces it exactly from the skipped-ahead stream.
+		for e := range perm {
+			perm[e] = e
+		}
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var epochLoss float64
 		var batches int
@@ -522,45 +566,67 @@ func (m *Model) Train(train, valid *TrainSet) TrainResult {
 		}
 		res.Epochs = epoch + 1
 
-		ev := TrainEvent{Phase: "train", Epoch: epoch + 1,
+		ev := TrainEvent{Phase: PhaseTrain, Epoch: epoch + 1,
 			TrainLoss: res.FinalTrainLoss, LR: cfg.LR}
-		if valid == nil {
-			emitEpoch(cfg, ev, epochStart)
-			continue
-		}
-		vl, perDist := m.validate(valid, top)
-		// Dynamic training: shift ω toward distances whose validation loss
-		// is trending up (Section 6.2).
-		if havePrev {
-			updateOmega(omega, deltas, perDist, prevValidPerDist, top)
-		}
-		copy(prevValidPerDist, perDist)
-		havePrev = true
+		if valid != nil {
+			vl, perDist := m.validate(valid, top)
+			// Dynamic training: shift ω toward distances whose validation loss
+			// is trending up (Section 6.2).
+			if havePrev {
+				updateOmega(omega, deltas, perDist, prevValidPerDist, top)
+			}
+			copy(prevValidPerDist, perDist)
+			havePrev = true
 
-		if vl < res.BestValidMSLE-1e-9 {
-			res.BestValidMSLE = vl
-			best = nn.TakeSnapshot(params)
-			badStreak = 0
-			ev.Improved = true
-		} else {
-			badStreak++
-			ev.EarlyStop = cfg.Patience > 0 && badStreak >= cfg.Patience
+			if vl < res.BestValidMSLE-1e-9 {
+				res.BestValidMSLE = vl
+				best = nn.TakeSnapshot(params)
+				badStreak = 0
+				ev.Improved = true
+			} else {
+				badStreak++
+				ev.EarlyStop = cfg.Patience > 0 && badStreak >= cfg.Patience
+			}
+			ev.HasValid = true
+			ev.ValidMSLE = vl
+			ev.BestMSLE = res.BestValidMSLE
+			ev.Omega = append([]float64(nil), omega[:top+1]...)
 		}
-		ev.HasValid = true
-		ev.ValidMSLE = vl
-		ev.BestMSLE = res.BestValidMSLE
-		ev.Omega = append([]float64(nil), omega[:top+1]...)
+		ev.Snapshot = func() *TrainerState {
+			return &TrainerState{
+				Phase:          PhaseTrain,
+				Cfg:            cfg,
+				InDim:          m.InDim,
+				TauTop:         m.TauTop,
+				DataHash:       dataHash,
+				Epoch:          res.Epochs,
+				RNGDraws:       src.Draws(),
+				Params:         nn.TakeSnapshot(params),
+				Opt:            opt.State(),
+				Omega:          append([]float64(nil), omega...),
+				PrevPerDist:    append([]float64(nil), prevValidPerDist...),
+				HavePrev:       havePrev,
+				Best:           best,
+				BestValidMSLE:  res.BestValidMSLE,
+				BadStreak:      badStreak,
+				FinalTrainLoss: res.FinalTrainLoss,
+			}
+		}
 		emitEpoch(cfg, ev, epochStart)
 		if ev.EarlyStop {
 			break
 		}
+		if cfg.Stop != nil && cfg.Stop() {
+			res.Interrupted = true
+			break
+		}
 	}
-	if best != nil {
+	if !res.Interrupted && best != nil {
 		if err := best.Restore(params); err != nil {
 			panic("core: snapshot restore failed: " + err.Error())
 		}
 	}
-	return res
+	return res, nil
 }
 
 // updateOmega recomputes the dynamic per-distance weights ω from the change
@@ -838,9 +904,10 @@ func finishValidate(total float64, n int, perDistSum []float64, perDistN []int) 
 
 // IncrementalResult reports an incremental-learning run (Section 8).
 type IncrementalResult struct {
-	Epochs    int
-	ValidMSLE float64
-	Skipped   bool // validation error had not degraded, no training needed
+	Epochs      int
+	ValidMSLE   float64
+	Skipped     bool // validation error had not degraded, no training needed
+	Interrupted bool // Config.Stop requested an early exit; the run is resumable from its last checkpoint
 }
 
 // IncrementalTrain implements the update procedure of Section 8: it checks
@@ -850,35 +917,74 @@ type IncrementalResult struct {
 // validation error is stable for three consecutive epochs. The original
 // queries are kept; only labels change.
 func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) IncrementalResult {
+	res, err := m.runIncremental(train, valid, prevValidMSLE, nil)
+	if err != nil {
+		// Unreachable for fresh runs: errors only arise restoring a state.
+		panic("core: " + err.Error())
+	}
+	return res
+}
+
+// runIncremental is the IncrementalTrain loop, optionally continuing from a
+// checkpointed state (st != nil skips the degradation check — the original
+// run already decided to train — and restores counters, moments, and the RNG
+// stream position, continuing bit-identically).
+func (m *Model) runIncremental(train, valid *TrainSet, prevValidMSLE float64, st *TrainerState) (IncrementalResult, error) {
 	cfg := m.Cfg
 	top := train.TauTop
 	if top > cfg.TauMax {
 		top = cfg.TauMax
 	}
-	cur, _ := m.validate(valid, top)
-	if cur <= prevValidMSLE*1.02+1e-12 {
-		return IncrementalResult{ValidMSLE: cur, Skipped: true}
+	dataHash := hashTrainData(train, valid)
+
+	var res IncrementalResult
+	stable := 0
+	var last float64
+	startEpoch := 0
+	if st == nil {
+		cur, _ := m.validate(valid, top)
+		if cur <= prevValidMSLE*1.02+1e-12 {
+			return IncrementalResult{ValidMSLE: cur, Skipped: true}, nil
+		}
+		res = IncrementalResult{ValidMSLE: cur}
+		last = cur
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	src := newCountingSource(cfg.Seed + 77)
+	rng := rand.New(src)
 	params := m.Params()
 	opt := nn.NewAdam(params, cfg.LR)
+
+	if st != nil {
+		if err := st.Params.Restore(params); err != nil {
+			return res, fmt.Errorf("core: restore weights: %w", err)
+		}
+		if err := opt.SetState(st.Opt); err != nil {
+			return res, fmt.Errorf("core: restore optimizer: %w", err)
+		}
+		src.Skip(st.RNGDraws)
+		stable = st.Stable
+		last = st.LastValid
+		res.ValidMSLE = st.ValidMSLE
+		res.Epochs = st.Epoch
+		startEpoch = st.Epoch
+	}
+
 	omega := make([]float64, m.tauCount())
 	for i := 0; i <= top; i++ {
 		omega[i] = 1 / float64(top+1)
 	}
 	perm := make([]int, train.NumQueries())
-	for i := range perm {
-		perm[i] = i
-	}
 	xb := tensor.NewMatrix(cfg.Batch, train.X.Cols)
 	lb := tensor.NewMatrix(cfg.Batch, train.Labels.Cols)
 
-	res := IncrementalResult{ValidMSLE: cur}
-	stable := 0
-	last := cur
-	for epoch := 0; epoch < 4*cfg.Epochs && stable < 3; epoch++ {
+	for epoch := startEpoch; epoch < 4*cfg.Epochs && stable < 3; epoch++ {
 		epochStart := time.Now()
+		// Identity reshuffled each epoch (see runTrain): the visit order is a
+		// pure function of the RNG stream position, so resume reproduces it.
+		for i := range perm {
+			perm[i] = i
+		}
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var epochLoss float64
 		var batches int
@@ -907,16 +1013,37 @@ func (m *Model) IncrementalTrain(train, valid *TrainSet, prevValidMSLE float64) 
 		last = vl
 		res.ValidMSLE = vl
 
-		ev := TrainEvent{Phase: "incremental", Epoch: epoch + 1, LR: cfg.LR,
+		ev := TrainEvent{Phase: PhaseIncremental, Epoch: epoch + 1, LR: cfg.LR,
 			HasValid: true, ValidMSLE: vl, BestMSLE: vl,
 			Omega:     append([]float64(nil), omega[:top+1]...),
 			EarlyStop: stable >= 3}
 		if batches > 0 {
 			ev.TrainLoss = epochLoss / float64(batches)
 		}
+		ev.Snapshot = func() *TrainerState {
+			return &TrainerState{
+				Phase:     PhaseIncremental,
+				Cfg:       cfg,
+				InDim:     m.InDim,
+				TauTop:    m.TauTop,
+				DataHash:  dataHash,
+				Epoch:     res.Epochs,
+				RNGDraws:  src.Draws(),
+				Params:    nn.TakeSnapshot(params),
+				Opt:       opt.State(),
+				Omega:     append([]float64(nil), omega...),
+				Stable:    stable,
+				LastValid: last,
+				ValidMSLE: res.ValidMSLE,
+			}
+		}
 		emitEpoch(cfg, ev, epochStart)
+		if stable < 3 && cfg.Stop != nil && cfg.Stop() {
+			res.Interrupted = true
+			break
+		}
 	}
-	return res
+	return res, nil
 }
 
 // logErr is log(1+max(p,0)) − log(1+max(y,0)).

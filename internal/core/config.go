@@ -1,20 +1,3 @@
-// Package core implements the paper's primary contribution: the CardNet
-// regression model (Sections 3, 5–8). Given a binary feature vector x and a
-// transformed threshold τ (produced by internal/feature), the model predicts
-// the selection cardinality as the sum of τ+1 per-distance decoders
-// (Equation 1), which makes the estimate monotonically non-decreasing in τ
-// by construction (Lemma 2):
-//
-//	ĉ(x, τ) = Σ_{i=0..τ} g_i(x),   g_i(x) = ReLU(wᵢᵀ·Ψ(x, i) + bᵢ) ≥ 0.
-//
-// The encoder Ψ concatenates the raw binary vector with a VAE latent code
-// (representation network Γ), appends a learned embedding of distance i, and
-// maps the result through a shared feedforward network Φ (Section 5.2). The
-// accelerated variant CardNet-A replaces Φ and the per-distance pairing with
-// a fused network Φ′ that emits all τmax+1 embeddings in one pass
-// (Section 7). Training minimizes MSLE with the per-distance dynamically
-// re-weighted term of Equation 3, plus λ·L_vae (Equation 2); updates are
-// handled by incremental learning from the current weights (Section 8).
 package core
 
 import "time"
@@ -35,6 +18,16 @@ type TrainEvent struct {
 	EpochTime time.Duration // wall time of the epoch, including validation
 	Improved  bool          // this epoch set a new best validation MSLE
 	EarlyStop bool          // the patience budget ran out after this epoch
+
+	// Snapshot captures the complete resumable trainer state at this epoch
+	// boundary — weights, Adam moments, ω, RNG position, counters — as a
+	// deep copy the caller may retain (internal/checkpoint persists it).
+	// Calling it costs a full parameter copy, so hooks should only invoke it
+	// when they actually intend to checkpoint. Valid only during the hook
+	// call; the closure reads live trainer state and must not be retained
+	// past the hook's return (the *returned* TrainerState is a copy and safe
+	// to keep).
+	Snapshot func() *TrainerState `json:"-"`
 }
 
 // TrainHook receives per-epoch TrainEvents from Train and IncrementalTrain.
@@ -88,6 +81,14 @@ type Config struct {
 	// Hook, when set, observes every training epoch (telemetry only — it
 	// cannot alter the run). Not serialized by Save.
 	Hook TrainHook
+
+	// Stop, when set, is polled after every epoch (after the Hook fires);
+	// returning true ends the run at that epoch boundary with
+	// Interrupted=true in the result. It is the cooperative half of graceful
+	// SIGTERM handling: the checkpoint hook flushes state for the same
+	// epoch, so an interrupted run resumes bit-identically. Like Hook it is
+	// a func field and not serialized.
+	Stop func() bool
 }
 
 // DefaultConfig returns the scaled-down default hyperparameters for a model

@@ -1,0 +1,26 @@
+// Package core implements the paper's primary contribution: the CardNet
+// regression model (Sections 3, 5–8). Given a binary feature vector x and a
+// transformed threshold τ (produced by internal/feature), the model predicts
+// the selection cardinality as the sum of τ+1 per-distance decoders
+// (Equation 1), which makes the estimate monotonically non-decreasing in τ
+// by construction (Lemma 2):
+//
+//	ĉ(x, τ) = Σ_{i=0..τ} g_i(x),   g_i(x) = ReLU(wᵢᵀ·Ψ(x, i) + bᵢ) ≥ 0.
+//
+// The encoder Ψ concatenates the raw binary vector with a VAE latent code
+// (representation network Γ), appends a learned embedding of distance i, and
+// maps the result through a shared feedforward network Φ (Section 5.2). The
+// accelerated variant CardNet-A replaces Φ and the per-distance pairing with
+// a fused network Φ′ that emits all τmax+1 embeddings in one pass
+// (Section 7). Training minimizes MSLE with the per-distance dynamically
+// re-weighted term of Equation 3, plus λ·L_vae (Equation 2); updates are
+// handled by incremental learning from the current weights (Section 8).
+//
+// Training is resumable: every epoch boundary can be captured as a
+// TrainerState (weights, Adam moments, dynamic ω, RNG stream position,
+// early-stop counters, best-validation snapshot) through the
+// TrainEvent.Snapshot hook, and ResumeTrain / ResumeIncrementalTrain
+// continue an interrupted run bit-identically to one that never stopped.
+// internal/checkpoint persists these states durably; Config.Stop provides
+// the cooperative interruption point that makes SIGTERM graceful.
+package core

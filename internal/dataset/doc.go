@@ -1,0 +1,15 @@
+// Package dataset generates the synthetic workloads this reproduction uses
+// in place of the paper's proprietary-scale datasets (Tables 2, 8, 11, 12)
+// and implements the query-workload construction of Sections 6.1, 9.10 and
+// 9.12: uniform/multiple/skewed sampling, train/valid/test splits, k-medoids
+// clustering, out-of-dataset query generation, and update streams.
+//
+// Each generator reproduces the property the estimators actually interact
+// with: a clustered, long-tailed distance distribution (paper Figure 1).
+// Binary codes mimic learned hash codes (cluster prototypes plus Bernoulli
+// bit flips), strings come from a syllable grammar with cluster-seeded
+// mutations, sets share Zipf-weighted cluster cores, and real vectors are
+// drawn from Gaussian mixtures. DefaultsByName exposes the Table 2 registry
+// (HM-*, ED-*, JC-*, EU-* specs) that cmd/cardnet's -dataset flag selects
+// from; internal/bench builds complete train/valid/test bundles on top.
+package dataset

@@ -1,15 +1,3 @@
-// Package dataset generates the synthetic workloads this reproduction uses
-// in place of the paper's proprietary-scale datasets (Table 2, 8, 11, 12) and
-// implements the query-workload construction of Sections 6.1, 9.10 and 9.12:
-// uniform/multiple/skewed sampling, train/valid/test splits, k-medoids
-// clustering, out-of-dataset query generation, and update streams.
-//
-// Each generator reproduces the property the estimators actually interact
-// with: a clustered, long-tailed distance distribution (paper Figure 1).
-// Binary codes mimic learned hash codes (cluster prototypes plus Bernoulli
-// bit flips), strings come from a syllable grammar with cluster-seeded
-// mutations, sets share Zipf-weighted cluster cores, and real vectors are
-// drawn from Gaussian mixtures.
 package dataset
 
 import (

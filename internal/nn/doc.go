@@ -1,0 +1,23 @@
+// Package nn is a from-scratch feedforward neural-network framework: dense
+// layers, common activations, Adam/SGD optimizers, regression and
+// variational-auto-encoder losses, a bidirectional LSTM, and parameter /
+// optimizer-state snapshots. It exists because the reproduced paper
+// ("Monotonic Cardinality Estimation of Similarity Selection", SIGMOD 2020)
+// trains FNN+VAE models (Sections 5–7) and no third-party DL framework is
+// available; everything here uses only the standard library.
+//
+// The framework is batch-oriented: a batch is a tensor.Matrix with one row
+// per example. In training mode (Forward's train=true) layers cache whatever
+// Backward needs, so a layer instance must not be shared across concurrent
+// training passes — data-parallel training shards instead carry a per-shard
+// Ctx holding activation caches and gradient buffers. Inference mode
+// (train=false) writes no layer state at all: concurrent Forward(x, false)
+// calls on a shared instance are safe, which is what lets one loaded model
+// serve many requests at once. Gradients accumulate into Param.Grad until
+// the optimizer steps and zeroes them.
+//
+// Persistence is split into two halves so callers can compose them: Snapshot
+// (io.go) flattens parameter values for model files, and AdamState captures
+// the optimizer moments so internal/checkpoint can freeze and resume a
+// training run bit-identically.
+package nn

@@ -56,6 +56,54 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	return &s, nil
 }
 
+// AdamState is a deep copy of an Adam optimizer's mutable state — the step
+// counter and both moment vectors — in the order of the bound parameters. It
+// is the optimizer half of a training checkpoint: restoring parameter values
+// alone would reset the moments and bias correction, so a resumed run would
+// diverge from the uninterrupted one on the very first step.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State captures the optimizer's current moment vectors and step counter.
+// The copy is deep, so the caller may retain it across further Step calls.
+func (a *Adam) State() *AdamState {
+	st := &AdamState{T: a.t,
+		M: make([][]float64, len(a.m)),
+		V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i]...)
+		st.V[i] = append([]float64(nil), a.v[i]...)
+	}
+	return st
+}
+
+// SetState restores moments captured by State into an optimizer bound to a
+// parameter set of the same shape. It errors on any mismatch, which indicates
+// the checkpoint belongs to a different architecture.
+func (a *Adam) SetState(st *AdamState) error {
+	if st == nil {
+		return fmt.Errorf("nn: nil Adam state")
+	}
+	if len(st.M) != len(a.params) || len(st.V) != len(a.params) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment vectors, optimizer binds %d params",
+			len(st.M), len(st.V), len(a.params))
+	}
+	for i, p := range a.params {
+		if len(st.M[i]) != len(p.Value) || len(st.V[i]) != len(p.Value) {
+			return fmt.Errorf("nn: Adam state moments %d (%s) have %d/%d values, param has %d",
+				i, p.Name, len(st.M[i]), len(st.V[i]), len(p.Value))
+		}
+	}
+	a.t = st.T
+	for i := range a.params {
+		copy(a.m[i], st.M[i])
+		copy(a.v[i], st.V[i])
+	}
+	return nil
+}
+
 // ParamBytes returns the serialized size in bytes of the given parameters,
 // used to report model sizes (paper Table 9).
 func ParamBytes(params []*Param) int {

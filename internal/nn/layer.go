@@ -1,17 +1,3 @@
-// Package nn is a from-scratch feedforward neural-network framework: dense
-// layers, common activations, Adam/SGD optimizers, regression and
-// variational-auto-encoder losses, and parameter snapshots. It exists because
-// the reproduced paper (CardNet, SIGMOD 2020) trains FNN+VAE models and no
-// third-party DL framework is available; everything here uses only the
-// standard library.
-//
-// The framework is batch-oriented: a batch is a tensor.Matrix with one row
-// per example. In training mode (Forward's train=true) layers cache whatever
-// Backward needs, so a layer instance must not be shared across concurrent
-// training passes. Inference mode (train=false) writes no layer state at
-// all: concurrent Forward(x, false) calls on a shared instance are safe,
-// which is what lets one loaded model serve many requests at once. Gradients
-// accumulate into Param.Grad until the optimizer steps and zeroes them.
 package nn
 
 import (

@@ -1,8 +1,3 @@
-// Package optimizer implements the paper's two query-optimizer case studies
-// (Section 9.11): a conjunctive Euclidean-distance query planner that picks
-// the most selective predicate for index lookup, and a GPH-style Hamming
-// query processor that allocates per-partition thresholds by dynamic
-// programming over estimated cardinalities.
 package optimizer
 
 import (

@@ -1,0 +1,11 @@
+// Package optimizer implements the paper's two query-optimizer case studies
+// (Section 9.11), the "is a better estimate worth anything downstream"
+// evaluation: a conjunctive Euclidean-distance query planner that picks the
+// most selective predicate for index lookup (Table 13's setting), and a
+// GPH-style Hamming query processor that allocates per-partition thresholds
+// by dynamic programming over estimated cardinalities (Table 14's setting).
+//
+// Both consumers take estimates through a plain func handle, so any
+// estimator — CardNet from internal/core, the internal/baselines methods, or
+// the exact internal/simselect oracle as the control — plugs in unchanged.
+package optimizer

@@ -1,8 +1,12 @@
 // Package tensor provides the dense float64 vector and matrix kernels used
-// by the neural-network, boosting, and estimator packages. It is deliberately
+// by the neural-network, boosting, and estimator packages (the Φ/Φ′ and VAE
+// networks of the paper's Sections 5–7 bottom out here). It is deliberately
 // small: the models in this repository only need contiguous row-major
 // matrices, a handful of BLAS-1/2/3 style routines, and seeded random
-// initialization.
+// initialization. The heavy kernels (MatMul and friends) optionally fan out
+// over a shared help-first worker pool sized by SetWorkers; internal/core's
+// data-parallel trainer and internal/serving's batch workers share that
+// pool.
 package tensor
 
 import (
