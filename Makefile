@@ -2,6 +2,12 @@
 
 GO ?= go
 
+# Build identity stamped into the binary (cardnet_build_info metric and
+# /healthz). Override VERSION on release builds: `make build VERSION=v1.2`.
+VERSION ?= dev
+GITSHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+LDFLAGS = -X main.buildVersion=$(VERSION) -X main.buildSHA=$(GITSHA)
+
 .PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train bench-obs bench-serving bench-train
 
 ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train
@@ -31,7 +37,7 @@ docs-lint:
 	$(GO) run ./cmd/docslint
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test -race ./...
@@ -42,9 +48,10 @@ race-serving:
 	$(GO) test -race -count=3 ./internal/serving ./internal/core -run 'Concurrent|Swap|Saturation|Batcher|Cache'
 
 # Shake the observability layer under the race detector: sink/registry
-# concurrency, trace sampling, and the rolling drift monitor.
+# concurrency, trace sampling, the rolling drift monitor, the SLO tracker's
+# evaluation loop, triggered profile capture, and metrics federation.
 race-obs:
-	$(GO) test -race -count=3 ./internal/obs/... -run 'Concurrent|Sink|Trace|Monitor|Drift|Sampler'
+	$(GO) test -race -count=3 ./internal/obs/... -run 'Concurrent|Sink|Trace|Monitor|Drift|Sampler|Tracker|Burn|Capture|Cooldown|Busy|Federate'
 
 # Stress the data-parallel training engine and the shared tensor worker pool
 # under the race detector: shard forward/backward over shared weights, ordered

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"cardnet/internal/obs"
+	"cardnet/internal/obs/slo"
+	"cardnet/internal/serving"
+)
+
+// fleetRow is one replica's line in the fleetstat table.
+type fleetRow struct {
+	instance string
+	up       bool
+	err      error
+	health   string // /healthz status
+	sloState string
+	drift    string
+	version  string // build version (sha)
+	model    string // model version
+	qps      float64
+	p99ms    float64
+}
+
+// runFleetstat polls every peer's /healthz once and /metrics twice (spaced
+// by interval, so counter deltas yield rates) and prints one row per
+// replica: reachability, health, SLO state, drift verdict, build and model
+// versions, QPS, and the p99 latency over the polling interval. A nil
+// client uses a 5s-timeout default. Unreachable peers still get a row.
+func runFleetstat(w io.Writer, peers []string, interval time.Duration, client *http.Client) error {
+	if len(peers) == 0 {
+		return errors.New("no peers (use -peers host:port,host:port)")
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	metricsURLs := make([]string, len(peers))
+	for i, p := range peers {
+		metricsURLs[i] = p + "/metrics"
+	}
+
+	ctx := context.Background()
+	first := obs.GatherRemote(ctx, client, metricsURLs)
+	health := make([]map[string]any, len(peers))
+	for i, p := range peers {
+		health[i] = fetchHealthz(ctx, client, p+"/healthz")
+	}
+	time.Sleep(interval)
+	second := obs.GatherRemote(ctx, client, metricsURLs)
+
+	rows := make([]fleetRow, len(peers))
+	for i := range peers {
+		rows[i] = buildFleetRow(first[i], second[i], health[i], interval)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "INSTANCE\tUP\tHEALTH\tSLO\tDRIFT\tBUILD\tMODEL\tQPS\tP99(ms)")
+	for _, row := range rows {
+		if !row.up {
+			fmt.Fprintf(tw, "%s\tdown\t-\t-\t-\t-\t-\t-\t-\t(%v)\n", row.instance, row.err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\tup\t%s\t%s\t%s\t%s\t%s\t%.1f\t%.2f\n",
+			row.instance, row.health, row.sloState, row.drift, row.version, row.model, row.qps, row.p99ms)
+	}
+	return tw.Flush()
+}
+
+// buildFleetRow condenses two metric snapshots plus a healthz document into
+// one table row.
+func buildFleetRow(first, second obs.RemoteSnapshot, hz map[string]any, interval time.Duration) fleetRow {
+	row := fleetRow{instance: second.Instance}
+	if second.Err != nil {
+		row.err = second.Err
+		return row
+	}
+	row.up = true
+	row.health = healthzString(hz, "status")
+	row.sloState = healthzString(hz, "slo")
+	row.drift = healthzString(hz, "drift")
+	row.version = healthzString(hz, "version")
+	if sha := healthzString(hz, "git_sha"); sha != "-" && len(sha) > 8 {
+		sha = sha[:8]
+		row.version += " (" + sha + ")"
+	}
+	if mv, ok := hz["model_version"].(float64); ok {
+		row.model = strconv.Itoa(int(mv))
+	} else {
+		row.model = "-"
+	}
+
+	countName := obs.PromName(serving.E2EHistogram) + "_count"
+	if first.Err == nil {
+		row.qps = (second.Series[countName] - first.Series[countName]) / interval.Seconds()
+		if row.qps < 0 {
+			row.qps = 0 // replica restarted between polls
+		}
+	}
+	bounds, counts := histDelta(first, second, obs.PromName(serving.E2EHistogram))
+	if counts != nil {
+		row.p99ms = slo.BucketQuantile(bounds, counts, 0.99) * 1e3
+	}
+	return row
+}
+
+// fetchHealthz GETs and decodes one replica's /healthz; nil on any failure
+// (the metrics scrape decides up/down, healthz only fills columns).
+func fetchHealthz(ctx context.Context, client *http.Client, url string) map[string]any {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return nil
+	}
+	return hz
+}
+
+// healthzString reads a string field from a healthz document, "-" when
+// absent.
+func healthzString(hz map[string]any, key string) string {
+	if s, ok := hz[key].(string); ok && s != "" {
+		return s
+	}
+	return "-"
+}
+
+// histDelta extracts a histogram's per-bucket counts over the interval
+// between two snapshots: finite bucket bounds in ascending order and the
+// non-cumulative count deltas with the overflow bucket last — the shape
+// slo.BucketQuantile consumes. Returns nil counts when the histogram is
+// absent from either snapshot.
+func histDelta(first, second obs.RemoteSnapshot, promName string) ([]float64, []float64) {
+	cum1 := bucketCumulatives(first, promName)
+	cum2 := bucketCumulatives(second, promName)
+	if cum1 == nil || cum2 == nil {
+		return nil, nil
+	}
+	bounds := make([]float64, 0, len(cum2))
+	for b := range cum2 {
+		if _, ok := cum1[b]; !ok {
+			return nil, nil // bucket layout changed between polls
+		}
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	counts := make([]float64, 0, len(bounds)+1)
+	prev1, prev2 := 0.0, 0.0
+	for _, b := range bounds {
+		counts = append(counts, (cum2[b]-prev2)-(cum1[b]-prev1))
+		prev1, prev2 = cum1[b], cum2[b]
+	}
+	countName := promName + "_count"
+	counts = append(counts, (second.Series[countName]-prev2)-(first.Series[countName]-prev1))
+	for i, c := range counts {
+		if c < 0 {
+			counts[i] = 0 // replica restarted between polls
+		}
+	}
+	return bounds, counts
+}
+
+// bucketCumulatives collects a histogram's finite-bound cumulative bucket
+// counts from a scraped snapshot, keyed by upper bound.
+func bucketCumulatives(snap obs.RemoteSnapshot, promName string) map[float64]float64 {
+	if snap.Err != nil {
+		return nil
+	}
+	prefix := promName + "_bucket"
+	var out map[float64]float64
+	for id, v := range snap.Series {
+		name, labels, err := obs.SplitSeries(id)
+		if err != nil || name != prefix {
+			continue
+		}
+		for _, l := range labels {
+			if l.Name != "le" || l.Value == "+Inf" { // overflow derives from _count
+				continue
+			}
+			bound, err := strconv.ParseFloat(l.Value, 64)
+			if err != nil || math.IsInf(bound, 0) || math.IsNaN(bound) {
+				continue
+			}
+			if out == nil {
+				out = map[float64]float64{}
+			}
+			out[bound] = v
+		}
+	}
+	return out
+}

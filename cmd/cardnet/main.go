@@ -39,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -48,14 +49,24 @@ import (
 	"cardnet/internal/dataset"
 	"cardnet/internal/metrics"
 	"cardnet/internal/obs"
+	"cardnet/internal/obs/runtimeobs"
 	"cardnet/internal/serving"
 	"cardnet/internal/simselect"
 	"cardnet/internal/tensor"
 )
 
+// Build identity, stamped by the Makefile via
+// -ldflags "-X main.buildVersion=… -X main.buildSHA=…"; plain `go build`
+// runs as dev/unknown. Exposed as the cardnet_build_info info metric and in
+// /healthz so an operator can tell which build each replica runs.
+var (
+	buildVersion = "dev"
+	buildSHA     = "unknown"
+)
+
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update | serve | obsbench | servebench | trainbench")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | fleetstat | obsbench | servebench | trainbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
 	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
@@ -79,7 +90,32 @@ func main() {
 	ckptDir := flag.String("ckpt-dir", "", `train/update: checkpoint directory ("" = <model>.ckpt, "off" = disable checkpointing)`)
 	ckptEvery := flag.Int("ckpt-every", 1, "train/update: write a checkpoint every N epochs")
 	ckptRetain := flag.Int("ckpt-retain", 3, "train/update: checkpoints kept on disk (older ones are pruned)")
+	obsInterval := flag.Duration("obs-interval", 10*time.Second, "serve: runtime-health sampling period")
+	sloLatency := flag.Duration("slo-latency", 100*time.Millisecond, "serve: latency SLO bound (requests within it count as good)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "serve: fraction of requests promised within -slo-latency")
+	sloAvailTarget := flag.Float64("slo-availability-target", 0.999, "serve: fraction of requests promised a non-5xx answer")
+	sloFast := flag.Duration("slo-fast", 5*time.Minute, "serve: fast burn-rate window")
+	sloSlow := flag.Duration("slo-slow", time.Hour, "serve: slow burn-rate window")
+	sloInterval := flag.Duration("slo-interval", 5*time.Second, "serve: SLO evaluation period")
+	sloLog := flag.String("slolog", "off", `serve: JSONL SLO state-transition log path ("off" = disabled)`)
+	profileDir := flag.String("profile-dir", "off", `serve: directory for triggered pprof capture ("off" = disabled)`)
+	profileRetain := flag.Int("profile-retain", 4, "serve: captured profile pairs kept on disk (older ones are pruned)")
+	profileCooldown := flag.Duration("profile-cooldown", time.Minute, "serve: minimum gap between triggered profile captures")
+	profileCPU := flag.Duration("profile-cpu", 2*time.Second, "serve: CPU-profile sampling duration per capture")
+	profileP99 := flag.Duration("profile-p99", 0, "serve: capture a profile when the fast-window p99 exceeds this (0 = only on SLO page)")
+	peersFlag := flag.String("peers", "", "serve/fleetstat: comma-separated peer addresses (host:port or URL) to federate/inspect")
+	fleetInterval := flag.Duration("fleet-interval", time.Second, "fleetstat: gap between the two metric polls that yield QPS")
 	flag.Parse()
+
+	// Identity metrics: which build is this, and when did it start. The info
+	// series carries the identity as labels (constant value 1, the Prometheus
+	// info-metric idiom); the gauge feeds process-uptime alerting.
+	obs.Default.SetInfo("cardnet.build.info",
+		obs.Label{Name: "version", Value: buildVersion},
+		obs.Label{Name: "sha", Value: buildSHA},
+		obs.Label{Name: "go", Value: runtime.Version()})
+	obs.Default.Gauge("process.start_time.seconds").
+		Set(float64(runtimeobs.StartTime().UnixNano()) / 1e9)
 
 	serveCfg := serving.Config{
 		MaxBatch:     *maxBatch,
@@ -222,6 +258,8 @@ func main() {
 	case "serve":
 		m := load(*modelPath)
 		var opts serveOptions
+		opts.obsInterval = *obsInterval
+		opts.peers = peerMetricsURLs(*peersFlag)
 		closeTraces := func() {}
 		if *traceLog != "" && *traceLog != "off" {
 			sink, err := obs.NewFileSink(*traceLog)
@@ -242,10 +280,30 @@ func main() {
 				opts.auditRate = *auditRate
 			}
 		}
+		closeSLOLog := func() {}
+		opts.slo, opts.capturer, closeSLOLog = buildTelemetry(telemetrySettings{
+			latencyBound:    sloLatency.Seconds(),
+			latencyTarget:   *sloLatencyTarget,
+			availTarget:     *sloAvailTarget,
+			fastWindow:      *sloFast,
+			slowWindow:      *sloSlow,
+			interval:        *sloInterval,
+			logPath:         *sloLog,
+			profileDir:      *profileDir,
+			profileRetain:   *profileRetain,
+			profileCooldown: *profileCooldown,
+			profileCPU:      *profileCPU,
+			profileP99:      profileP99.Seconds(),
+		})
 		err := runServe(m, *addr, serveCfg, opts)
 		closeTraces()
+		closeSLOLog()
 		if err != nil {
 			log.Fatalf("serve: %v", err)
+		}
+	case "fleetstat":
+		if err := runFleetstat(os.Stdout, splitPeers(*peersFlag), *fleetInterval, nil); err != nil {
+			log.Fatalf("fleetstat: %v", err)
 		}
 	case "obsbench":
 		b := buildBundle()
@@ -268,6 +326,9 @@ func main() {
 		log.Printf("obs off : p50=%.1fµs p99=%.1fµs", rep.Off.P50Micros, rep.Off.P99Micros)
 		log.Printf("overhead: p50=%+.2f%% p99=%+.2f%% mean=%+.2f%% -> %s",
 			rep.OverheadP50Pct, rep.OverheadP99Pct, rep.OverheadMeanPct, *benchOut)
+		log.Printf("telemetry (sampler+slo at %.0fµs cadence): p50=%+.2f%% p99=%+.2f%% mean=%+.2f%%",
+			rep.Telemetry.IntervalMicros, rep.Telemetry.OverheadP50Pct,
+			rep.Telemetry.OverheadP99Pct, rep.Telemetry.OverheadMeanPct)
 	case "servebench":
 		b := buildBundle()
 		// Serving throughput is measured at the paper's production

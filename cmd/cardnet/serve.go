@@ -20,6 +20,9 @@ import (
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
 	"cardnet/internal/obs/monitor"
+	"cardnet/internal/obs/profcap"
+	"cardnet/internal/obs/runtimeobs"
+	"cardnet/internal/obs/slo"
 	"cardnet/internal/serving"
 	"cardnet/internal/simselect"
 )
@@ -34,9 +37,17 @@ var httpErrors = obs.Default.Counter("http.errors")
 var (
 	mStageAdmission = obs.Default.Histogram(serving.StageHistName(serving.StageAdmission), obs.TimeBuckets())
 	mStageWrite     = obs.Default.Histogram(serving.StageHistName(serving.StageWrite), obs.TimeBuckets())
-	mE2E            = obs.Default.Histogram("serving.e2e.seconds", obs.TimeBuckets())
+	mE2E            = obs.Default.Histogram(serving.E2EHistogram, obs.TimeBuckets())
 	mTraceSampled   = obs.Default.Counter("trace.sampled")
 	mAuditDropped   = obs.Default.Counter("audit.dropped")
+)
+
+// Availability counters the SLO tracker's error-budget math reads: every
+// /estimate request, and the subset answered with a 5xx (503 overload/
+// shutdown, 504 deadline).
+var (
+	mEstimateRequests = obs.Default.Counter("http.estimate.requests")
+	mEstimate5xx      = obs.Default.Counter("http.estimate.5xx")
 )
 
 // requestTimeout bounds how long one estimate may sit in the engine queue
@@ -51,6 +62,38 @@ type serveOptions struct {
 	sampler   *obs.TraceSampler // JSONL trace sampling (nil → off)
 	oracle    *simselect.EncodedOracle
 	auditRate float64 // fraction of estimates replayed against oracle
+
+	slo         *slo.Tracker      // burn-rate SLO tracker (nil → default objectives, unstarted)
+	capturer    *profcap.Capturer // triggered pprof capture (nil → off)
+	peers       []string          // peer /metrics URLs for /metrics/federate
+	obsInterval time.Duration     // runtime sampler cadence (0 → default 10s)
+}
+
+// defaultSLOTracker builds an unstarted tracker over the default serving
+// objectives, used when runServe or newServeMux gets no tracker: /slo and
+// /healthz stay functional (everything reads "ok" until Eval runs).
+func defaultSLOTracker() *slo.Tracker {
+	return slo.New(slo.Config{Objectives: defaultSLOObjectives(0.1, 0.99, 0.999)})
+}
+
+// defaultSLOObjectives is the serving SLO pair: latency (fraction of
+// /estimate requests completing within bound seconds) and availability
+// (fraction not answered 5xx).
+func defaultSLOObjectives(latencyBound, latencyTarget, availTarget float64) []slo.Objective {
+	return []slo.Objective{
+		{
+			Name:      "latency",
+			Target:    latencyTarget,
+			Histogram: serving.E2EHistogram,
+			Bound:     latencyBound,
+		},
+		{
+			Name:          "availability",
+			Target:        availTarget,
+			TotalCounter:  "http.estimate.requests",
+			ErrorCounters: []string{"http.estimate.5xx"},
+		},
+	}
 }
 
 // runServe blocks serving the estimation API on addr until SIGINT/SIGTERM,
@@ -60,6 +103,9 @@ func runServe(m *core.Model, addr string, scfg serving.Config, opts serveOptions
 	if opts.mon == nil {
 		opts.mon = monitor.New(monitor.Config{}, obs.Default)
 	}
+	if opts.slo == nil {
+		opts.slo = defaultSLOTracker()
+	}
 	// Every τ-sweep the batch workers compute is checked against the Lemma 2
 	// monotonicity contract, and a model swap re-baselines the drift monitor.
 	scfg.CurveCheck = func(curve []float64) { opts.mon.CheckCurve(curve) }
@@ -67,8 +113,22 @@ func runServe(m *core.Model, addr string, scfg serving.Config, opts serveOptions
 	reg.OnSwap(opts.mon.ResetBaseline)
 	eng := serving.NewEngine(reg, scfg)
 
+	// Telemetry rides the engine's lifecycle: runtime sampling and SLO
+	// evaluation start before the listener and stop after drain, so shutdown
+	// itself is observed.
+	rsampler := runtimeobs.Start(runtimeobs.Config{Interval: opts.obsInterval})
+	defer rsampler.Stop()
+	opts.slo.Start()
+	defer opts.slo.Stop()
+	if opts.capturer != nil {
+		defer opts.capturer.Wait() // let an in-flight profile pair finish writing
+	}
+
 	log.Printf("serving CardNet (in_dim=%d tau_max=%d, %d KB) on %s", m.InDim, m.Cfg.TauMax, m.SizeBytes()/1024, addr)
-	log.Printf("endpoints: POST/GET /estimate, POST /feedback, POST /admin/reload, /metrics, /healthz, /drift, /debug/pprof/")
+	log.Printf("endpoints: POST/GET /estimate, POST /feedback, POST /admin/reload, /metrics, /metrics/federate, /healthz, /drift, /slo, /debug/pprof/")
+	if len(opts.peers) > 0 {
+		log.Printf("federating %d peers: %s", len(opts.peers), strings.Join(opts.peers, ", "))
+	}
 	if opts.sampler != nil {
 		log.Printf("trace sampling: 1 in %d requests", opts.sampler.Every())
 	}
@@ -114,14 +174,19 @@ func newServeMux(eng *serving.Engine, opts serveOptions) *http.ServeMux {
 	if opts.mon == nil {
 		opts.mon = monitor.New(monitor.Config{}, obs.Default)
 	}
+	if opts.slo == nil {
+		opts.slo = defaultSLOTracker()
+	}
 	aud := newAuditor(opts.oracle, opts.mon, opts.auditRate)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(eng, opts.sampler, aud)))
 	mux.HandleFunc("/feedback", instrument("http.feedback", handleFeedback(eng, opts.mon)))
 	mux.HandleFunc("/admin/reload", instrument("http.reload", handleReload(eng)))
-	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng, opts.mon)))
+	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng, opts.mon, opts.slo)))
 	mux.HandleFunc("/drift", instrument("http.drift", handleDrift(eng, opts.mon)))
+	mux.HandleFunc("/slo", instrument("http.slo", handleSLO(opts.slo)))
 	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/metrics/federate", instrument("http.federate", handleFederate(opts.peers)))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -159,6 +224,7 @@ func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Every response carries the trace ID, sampled or not, so an operator
 		// can correlate a slow client-side call with the JSONL trace log.
+		mEstimateRequests.Inc()
 		tr := obs.NewTrace()
 		w.Header().Set("X-Trace-Id", tr.ID)
 		finish := func() {
@@ -191,7 +257,7 @@ func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor
 		if req.All {
 			ests, err := eng.EstimateAllTraced(ctx, req.X, tr)
 			if err != nil {
-				httpEngineError(w, err)
+				estimateEngineError(w, err)
 				finish()
 				return
 			}
@@ -200,7 +266,7 @@ func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor
 		} else {
 			v, err := eng.EstimateTraced(ctx, req.X, *req.Tau, tr)
 			if err != nil {
-				httpEngineError(w, err)
+				estimateEngineError(w, err)
 				finish()
 				return
 			}
@@ -441,20 +507,61 @@ func handleReload(eng *serving.Engine) http.HandlerFunc {
 	}
 }
 
-func handleHealthz(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc {
+func handleHealthz(eng *serving.Engine, mon *monitor.Monitor, tracker *slo.Tracker) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		m, version := eng.Registry().Current()
 		writeJSON(w, map[string]any{
-			"status":        "ok",
-			"drift":         mon.Status().Status,
-			"in_dim":        m.InDim,
-			"tau_max":       m.Cfg.TauMax,
-			"tau_top":       m.TauTop,
-			"accel":         m.Cfg.Accel,
-			"model_bytes":   m.SizeBytes(),
-			"model_version": version,
-			"cache_entries": eng.CacheLen(),
+			"status":             "ok",
+			"drift":              mon.Status().Status,
+			"slo":                tracker.State().String(),
+			"version":            buildVersion,
+			"git_sha":            buildSHA,
+			"start_time_seconds": float64(runtimeobs.StartTime().UnixNano()) / 1e9,
+			"in_dim":             m.InDim,
+			"tau_max":            m.Cfg.TauMax,
+			"tau_top":            m.TauTop,
+			"accel":              m.Cfg.Accel,
+			"model_bytes":        m.SizeBytes(),
+			"model_version":      version,
+			"cache_entries":      eng.CacheLen(),
 		})
+	}
+}
+
+// handleSLO reports the burn-rate tracker's current view: overall state,
+// window configuration, and per-objective burn rates — the machine-readable
+// face of the ok|warn|page alerting in RUNBOOK.md.
+func handleSLO(tracker *slo.Tracker) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, tracker.Status())
+	}
+}
+
+// handleFederate scrapes the configured peers' /metrics concurrently and
+// returns the merged exposition with per-peer instance labels plus a
+// federate_up series per peer — one scrape target for a whole fleet. Without
+// -peers the endpoint reports 404 rather than an empty exposition.
+func handleFederate(peers []string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		if len(peers) == 0 {
+			httpError(w, http.StatusNotFound, "federation not configured (start with -peers)")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		snaps := obs.GatherRemote(ctx, nil, peers)
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := obs.WriteFederated(w, snaps); err != nil {
+			httpErrors.Inc()
+		}
 	}
 }
 
@@ -483,16 +590,28 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // httpEngineError maps engine failures onto status codes: overload and
 // shutdown become 503 (degrade gracefully, clients retry), deadline
-// expiry becomes 504, and anything else validation missed is a 400.
-func httpEngineError(w http.ResponseWriter, err error) {
+// expiry becomes 504, and anything else validation missed is a 400. It
+// returns the status written so callers can classify the failure.
+func httpEngineError(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, serving.ErrOverloaded), errors.Is(err, serving.ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return http.StatusGatewayTimeout
 	default:
 		httpError(w, http.StatusBadRequest, err.Error())
+		return http.StatusBadRequest
+	}
+}
+
+// estimateEngineError is httpEngineError for the /estimate path: 5xx
+// responses additionally burn the availability SLO's error budget.
+func estimateEngineError(w http.ResponseWriter, err error) {
+	if code := httpEngineError(w, err); code >= 500 {
+		mEstimate5xx.Inc()
 	}
 }
 

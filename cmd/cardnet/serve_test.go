@@ -411,6 +411,12 @@ func TestObsBenchReport(t *testing.T) {
 	if !obs.Enabled() {
 		t.Fatal("obsbench left instrumentation disabled")
 	}
+	if rep.Telemetry.On.Calls == 0 || rep.Telemetry.Off.Calls == 0 {
+		t.Fatalf("telemetry overhead section empty: %+v", rep.Telemetry)
+	}
+	if rep.Telemetry.On.P50Micros <= 0 || rep.Telemetry.Off.P50Micros <= 0 {
+		t.Fatalf("telemetry overhead non-positive latencies: %+v", rep.Telemetry)
+	}
 	path := t.TempDir() + "/BENCH_obs.json"
 	if err := rep.write(path); err != nil {
 		t.Fatal(err)

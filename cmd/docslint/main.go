@@ -3,8 +3,9 @@
 //
 //  1. Every exported top-level identifier (types, funcs, methods, consts,
 //     vars) in the operations-facing packages — internal/checkpoint,
-//     internal/serving, internal/obs, internal/obs/monitor — carries a doc
-//     comment, and every package has package documentation.
+//     internal/serving, internal/obs, and the obs subpackages (monitor,
+//     runtimeobs, slo, profcap) — carries a doc comment, and every package
+//     has package documentation.
 //
 //  2. The flag reference in docs/RUNBOOK.md matches cmd/cardnet: every flag
 //     defined in the command appears (as `-name`) in the RUNBOOK's
@@ -34,6 +35,9 @@ var docPackages = []string{
 	"internal/serving",
 	"internal/obs",
 	"internal/obs/monitor",
+	"internal/obs/runtimeobs",
+	"internal/obs/slo",
+	"internal/obs/profcap",
 }
 
 const (

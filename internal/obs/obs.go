@@ -12,6 +12,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sort"
@@ -72,6 +73,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	infos  map[string][]Label
 }
 
 // Default is the process-wide registry shared by the instrumented packages.
@@ -83,7 +85,19 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		infos:  make(map[string][]Label),
 	}
+}
+
+// SetInfo registers (or replaces) an info series: a constant gauge with
+// value 1 whose labels carry identity facts — the Prometheus build_info
+// idiom. Exposed by WritePrometheus with the given label set and by Snapshot
+// under "info". Unlike the other metric kinds, SetInfo is not hot-path code
+// and ignores the global enable switch.
+func (r *Registry) SetInfo(name string, labels ...Label) {
+	r.mu.Lock()
+	r.infos[name] = append([]Label(nil), labels...)
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -159,11 +173,36 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.hists {
 		hists[name] = h.Snapshot()
 	}
-	return map[string]any{
+	out := map[string]any{
 		"counters":   counters,
 		"gauges":     gauges,
 		"histograms": hists,
 	}
+	if len(r.infos) > 0 {
+		infos := make(map[string]map[string]string, len(r.infos))
+		for name, ls := range r.infos {
+			lm := make(map[string]string, len(ls))
+			for _, l := range ls {
+				lm[l.Name] = l.Value
+			}
+			infos[name] = lm
+		}
+		out["info"] = infos
+	}
+	return out
+}
+
+// SeriesSnapshot renders the registry through the Prometheus writer and
+// parses the result straight back with ParsePrometheus, returning the flat
+// canonical-series → value map. Federation merges the local instance through
+// this path so the emitted exposition is provably parseable by the same
+// parser that reads the peers.
+func (r *Registry) SeriesSnapshot() (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return ParsePrometheus(&buf)
 }
 
 // WriteJSON writes the snapshot as indented JSON with sorted keys (the
@@ -178,7 +217,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.hists)+len(r.infos))
+	for n := range r.infos {
+		names = append(names, n)
+	}
 	for n := range r.counts {
 		names = append(names, n)
 	}

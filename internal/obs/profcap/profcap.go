@@ -1,0 +1,282 @@
+// Package profcap captures CPU and heap pprof profiles automatically when
+// the SLO layer says the service is in trouble — a burn-rate trip or a
+// windowed-p99 breach — so the evidence of *why* latency regressed is on
+// disk before anyone is paged, not reconstructed afterwards.
+//
+// Triggers are non-blocking and heavily damped: at most one capture runs at
+// a time, a cooldown separates consecutive captures, and only the newest
+// Retain profile pairs are kept. Each capture produces a pair
+//
+//	profile-<stamp>-<reason>.cpu.pprof
+//	profile-<stamp>-<reason>.heap.pprof
+//
+// where stamp is a UTC nanosecond timestamp (lexical order is chronological)
+// and reason names the trigger (e.g. "page", "p99"). Files are written with
+// the same temp + fsync + rename discipline as internal/checkpoint — but as
+// raw bytes, without the checkpoint CRC frame, so `go tool pprof` reads them
+// directly.
+package profcap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cardnet/internal/obs"
+)
+
+// Config tunes a Capturer. Zero values take the documented defaults.
+type Config struct {
+	// Dir is the directory profiles are written to (required; created if
+	// missing).
+	Dir string
+	// Retain is how many profile pairs to keep; older pairs are pruned
+	// after each capture (default 4).
+	Retain int
+	// Cooldown is the minimum time between captures; triggers inside it are
+	// counted and dropped (default 1m).
+	Cooldown time.Duration
+	// CPUDuration is how long the CPU profile samples for (default 2s).
+	CPUDuration time.Duration
+	// Registry receives the capture/skip/error counters (default
+	// obs.Default).
+	Registry *obs.Registry
+	// Sink, when set, receives one "profcap.capture" event per completed
+	// capture.
+	Sink *obs.Sink
+}
+
+// Capturer writes triggered profile pairs into its directory. Build with
+// New; fire with Trigger; Wait blocks until any in-flight capture finishes
+// (tests and shutdown paths).
+type Capturer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	busy bool
+	last time.Time
+	now  func() time.Time // injectable clock for cooldown tests
+
+	wg sync.WaitGroup
+
+	cCaptures *obs.Counter
+	cSkipped  *obs.Counter
+	cErrors   *obs.Counter
+}
+
+// New builds a Capturer, creating cfg.Dir if needed.
+func New(cfg Config) (*Capturer, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("profcap: Dir is required")
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 4
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Minute
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 2 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profcap: create dir: %w", err)
+	}
+	return &Capturer{
+		cfg:       cfg,
+		now:       time.Now,
+		cCaptures: cfg.Registry.Counter("profcap.captures"),
+		cSkipped:  cfg.Registry.Counter("profcap.skipped"),
+		cErrors:   cfg.Registry.Counter("profcap.errors"),
+	}, nil
+}
+
+// Trigger requests a capture attributed to reason. It never blocks: if a
+// capture is already running or the cooldown has not elapsed, the trigger is
+// counted as skipped and dropped. The capture itself runs on its own
+// goroutine (a CPU profile takes CPUDuration to collect).
+func (c *Capturer) Trigger(reason string) {
+	c.mu.Lock()
+	now := c.now()
+	if c.busy || (!c.last.IsZero() && now.Sub(c.last) < c.cfg.Cooldown) {
+		c.mu.Unlock()
+		c.cSkipped.Inc()
+		return
+	}
+	c.busy = true
+	c.last = now
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			c.mu.Lock()
+			c.busy = false
+			c.mu.Unlock()
+		}()
+		c.capture(reason, now)
+	}()
+}
+
+// Wait blocks until any in-flight capture has finished writing.
+func (c *Capturer) Wait() { c.wg.Wait() }
+
+// capture collects one CPU+heap pair and prunes old pairs.
+func (c *Capturer) capture(reason string, at time.Time) {
+	stamp := at.UTC().Format("20060102T150405.000000000")
+	base := fmt.Sprintf("profile-%s-%s", stamp, sanitizeReason(reason))
+
+	// CPU first: StartCPUProfile is exclusive process-wide, so a conflict
+	// (another profiler active) degrades to a heap-only capture.
+	var cpu bytes.Buffer
+	cpuOK := true
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		c.cErrors.Inc()
+		cpuOK = false
+	} else {
+		time.Sleep(c.cfg.CPUDuration)
+		pprof.StopCPUProfile()
+	}
+
+	// Heap after a forced GC so the profile reflects live objects, not
+	// garbage awaiting collection.
+	var heap bytes.Buffer
+	runtime.GC()
+	heapOK := true
+	if err := pprof.WriteHeapProfile(&heap); err != nil {
+		c.cErrors.Inc()
+		heapOK = false
+	}
+
+	wrote := false
+	if cpuOK {
+		if err := writeFileAtomic(filepath.Join(c.cfg.Dir, base+".cpu.pprof"), cpu.Bytes()); err != nil {
+			c.cErrors.Inc()
+		} else {
+			wrote = true
+		}
+	}
+	if heapOK {
+		if err := writeFileAtomic(filepath.Join(c.cfg.Dir, base+".heap.pprof"), heap.Bytes()); err != nil {
+			c.cErrors.Inc()
+		} else {
+			wrote = true
+		}
+	}
+	if wrote {
+		c.cCaptures.Inc()
+		if c.cfg.Sink != nil {
+			c.cfg.Sink.Emit("profcap.capture", map[string]any{
+				"reason": reason,
+				"base":   base,
+				"dir":    c.cfg.Dir,
+			})
+		}
+	}
+	c.prune()
+}
+
+// sanitizeReason maps a trigger reason to a filename-safe token.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, reason)
+}
+
+// prune removes all but the newest Retain capture stamps (a stamp's CPU and
+// heap files count as one pair and are removed together).
+func (c *Capturer) prune() {
+	entries, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		c.cErrors.Inc()
+		return
+	}
+	// Group by base name (everything before the .cpu/.heap suffix); the
+	// nanosecond stamp makes lexical order chronological.
+	groups := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "profile-") {
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(name, ".cpu.pprof"), ".heap.pprof")
+		if base == name { // some other file shape: leave it alone
+			continue
+		}
+		groups[base] = append(groups[base], name)
+	}
+	bases := make([]string, 0, len(groups))
+	for b := range groups {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	if len(bases) <= c.cfg.Retain {
+		return
+	}
+	for _, b := range bases[:len(bases)-c.cfg.Retain] {
+		for _, name := range groups[b] {
+			if err := os.Remove(filepath.Join(c.cfg.Dir, name)); err != nil {
+				c.cErrors.Inc()
+			}
+		}
+	}
+}
+
+// writeFileAtomic writes payload durably: temp file in the same directory
+// (dot-prefixed so scans skip crash orphans), fsync, rename over path, fsync
+// the directory. Unlike checkpoint.WriteFileAtomic this frames nothing —
+// pprof output must land byte-identical for `go tool pprof`.
+func writeFileAtomic(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("profcap: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return fail(fmt.Errorf("profcap: write: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("profcap: fsync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("profcap: close: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("profcap: rename into place: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("profcap: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("profcap: fsync dir: %w", err)
+	}
+	return nil
+}

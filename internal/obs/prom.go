@@ -13,13 +13,22 @@ import (
 // /metrics when the scraper asks for it.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// Label is one name="value" pair attached to a Prometheus series (an info
+// metric's constant labels, a histogram bucket's le, federation's instance).
+type Label struct {
+	Name  string
+	Value string
+}
+
 // WritePrometheus renders every metric in the registry in the Prometheus
 // text exposition format (version 0.0.4), with no dependency on the
 // Prometheus client library. Metric names are sanitized ('.' and any other
 // invalid rune become '_'), output is sorted by metric name so the format is
 // deterministic, histograms emit cumulative buckets with a trailing +Inf
-// bucket plus _sum and _count series, and counters carry a _total suffix per
-// the naming convention.
+// bucket plus _sum and _count series (explicit non-finite bounds are folded
+// into that synthetic +Inf bucket rather than duplicating it), counters
+// carry a _total suffix per the naming convention, and info series render as
+// constant gauges with their label sets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	type hist struct {
@@ -33,6 +42,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	gauges := make(map[string]float64, len(r.gauges))
 	for name, g := range r.gauges {
 		gauges[name] = g.Value()
+	}
+	infos := make(map[string][]Label, len(r.infos))
+	for name, ls := range r.infos {
+		infos[name] = ls
 	}
 	hists := make([]hist, 0, len(r.hists))
 	for name, h := range r.hists {
@@ -57,12 +70,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteString(formatPromValue(gauges[name]))
 		bw.WriteByte('\n')
 	}
+	for _, name := range sortedKeys(infos) {
+		pn := PromName(name)
+		writeHeader(bw, pn, "gauge", "info "+name)
+		bw.WriteString(FormatSeries(pn, infos[name]))
+		bw.WriteString(" 1\n")
+	}
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 	for _, e := range hists {
 		pn := PromName(e.name)
 		writeHeader(bw, pn, "histogram", "histogram "+e.name)
 		s := e.h.Snapshot()
 		for _, b := range s.Buckets {
+			if math.IsInf(b.UpperBound, 0) || math.IsNaN(b.UpperBound) {
+				continue // the synthetic +Inf bucket below carries the total
+			}
 			bw.WriteString(pn)
 			bw.WriteString(`_bucket{le="`)
 			bw.WriteString(escapeLabel(formatPromValue(b.UpperBound)))
@@ -125,6 +147,32 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// FormatSeries renders a series id from a metric name and labels in the
+// canonical form this package uses as map keys: labels sorted by name, values
+// escaped, no trailing comma. No labels yields the bare name. The name and
+// label names are not sanitized here — callers pass already-valid ones.
+func FormatSeries(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // formatPromValue renders a float the way Prometheus expects: shortest
 // round-trip representation, with +Inf/-Inf/NaN spelled out.
 func formatPromValue(v float64) string {
@@ -152,11 +200,14 @@ func escapeLabel(s string) string {
 	return strings.ReplaceAll(s, `"`, `\"`)
 }
 
-// ParsePrometheus parses text-exposition output back into a flat map of
-// series id ("name" or `name{le="…"}`) → value. It is a round-trip
-// validator for tests and scrape self-checks, not a general openmetrics
-// parser: it enforces the 0.0.4 line grammar this package emits (comment
-// lines, one sample per line, a parseable float value, a valid metric name).
+// ParsePrometheus parses text-exposition output into a flat map of canonical
+// series id ("name" or `name{a="b",le="…"}`, labels sorted by name) → value.
+// It is the load-bearing half of federation as well as the round-trip
+// validator for tests and scrape self-checks: label sets are fully parsed
+// (escape sequences \\, \", \n decoded; anything else rejected), a trailing
+// integer timestamp is tolerated, and any malformed line fails with its line
+// and column position. It enforces the 0.0.4 line grammar rather than the
+// full OpenMetrics spec.
 func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -165,32 +216,18 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	for sc.Scan() {
 		line++
 		text := sc.Text()
-		if text == "" || strings.HasPrefix(text, "#") {
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		sp := strings.LastIndexByte(text, ' ')
-		if sp <= 0 || sp == len(text)-1 {
-			return nil, parseErr(line, "no value", text)
+		id, v, perr := parseSampleLine(text)
+		if perr != nil {
+			perr.line = line
+			return nil, perr
 		}
-		series, val := text[:sp], text[sp+1:]
-		name := series
-		if i := strings.IndexByte(series, '{'); i >= 0 {
-			if !strings.HasSuffix(series, "}") {
-				return nil, parseErr(line, "unterminated label set", text)
-			}
-			name = series[:i]
+		if _, dup := out[id]; dup {
+			return nil, &promParseError{line: line, col: 1, msg: "duplicate series", text: text}
 		}
-		if PromName(name) != name || name == "" {
-			return nil, parseErr(line, "invalid metric name", text)
-		}
-		v, err := strconv.ParseFloat(strings.Replace(val, "+Inf", "Inf", 1), 64)
-		if err != nil {
-			return nil, parseErr(line, "bad value", text)
-		}
-		if _, dup := out[series]; dup {
-			return nil, parseErr(line, "duplicate series", text)
-		}
-		out[series] = v
+		out[id] = v
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -198,18 +235,149 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
-func parseErr(line int, msg, text string) error {
-	return &promParseError{line: line, msg: msg, text: text}
+// parseSampleLine parses one sample line "name{labels} value [timestamp]"
+// into a canonical series id and value. The returned error has its column
+// set; the caller fills in the line number.
+func parseSampleLine(text string) (string, float64, *promParseError) {
+	fail := func(col int, msg string) (string, float64, *promParseError) {
+		return "", 0, &promParseError{col: col + 1, msg: msg, text: text}
+	}
+	i := 0
+	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+	for i < len(text) && isNameRune(text[i], i > 0) {
+		i++
+	}
+	if i == 0 {
+		return fail(0, "invalid metric name")
+	}
+	name := text[:i]
+	var labels []Label
+	if i < len(text) && text[i] == '{' {
+		var perr *promParseError
+		labels, i, perr = parseLabelSet(text, i+1)
+		if perr != nil {
+			return "", 0, perr
+		}
+	}
+	if i >= len(text) || (text[i] != ' ' && text[i] != '\t') {
+		return fail(i, "expected space before value")
+	}
+	for i < len(text) && (text[i] == ' ' || text[i] == '\t') {
+		i++
+	}
+	rest := text[i:]
+	valTok := rest
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		valTok = rest[:sp]
+		// Anything after the value must be a plain integer timestamp.
+		ts := strings.TrimSpace(rest[sp:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return fail(i+sp+1, "trailing garbage after value (not a timestamp)")
+		}
+	}
+	if valTok == "" {
+		return fail(i, "no value")
+	}
+	v, err := strconv.ParseFloat(valTok, 64)
+	if err != nil {
+		return fail(i, "bad value")
+	}
+	return FormatSeries(name, labels), v, nil
+}
+
+// parseLabelSet parses `k="v",…}` starting just past the opening brace and
+// returns the labels and the index just past the closing brace.
+func parseLabelSet(text string, i int) ([]Label, int, *promParseError) {
+	fail := func(col int, msg string) ([]Label, int, *promParseError) {
+		return nil, 0, &promParseError{col: col + 1, msg: msg, text: text}
+	}
+	var labels []Label
+	for {
+		if i >= len(text) {
+			return fail(i, "unterminated label set")
+		}
+		if text[i] == '}' { // {} and trailing commas are legal
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(text) && isLabelNameRune(text[i], i > start) {
+			i++
+		}
+		if i == start {
+			return fail(i, "invalid label name")
+		}
+		lname := text[start:i]
+		if i >= len(text) || text[i] != '=' {
+			return fail(i, "expected '=' after label name")
+		}
+		i++
+		if i >= len(text) || text[i] != '"' {
+			return fail(i, "expected '\"' to open label value")
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return fail(i, "unterminated label value")
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return fail(i, "dangling escape in label value")
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fail(i, "unknown escape in label value")
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+		if i < len(text) && text[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(text) && text[i] == '}' {
+			return labels, i + 1, nil
+		}
+		return fail(i, "expected ',' or '}' after label")
+	}
+}
+
+func isNameRune(c byte, notFirst bool) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(notFirst && c >= '0' && c <= '9')
+}
+
+func isLabelNameRune(c byte, notFirst bool) bool {
+	return c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(notFirst && c >= '0' && c <= '9')
 }
 
 type promParseError struct {
 	line int
+	col  int
 	msg  string
 	text string
 }
 
 func (e *promParseError) Error() string {
-	return "obs: prometheus parse line " + strconv.Itoa(e.line) + ": " + e.msg + ": " + e.text
+	return "obs: prometheus parse line " + strconv.Itoa(e.line) + " col " + strconv.Itoa(e.col) + ": " + e.msg + ": " + e.text
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -122,6 +122,101 @@ func TestPromNameAndEscaping(t *testing.T) {
 	}
 }
 
+func TestParsePrometheusEscapedLabelsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	hairy := "a\\b \"c\"\nd"
+	r.SetInfo("cardnet.build.info",
+		Label{Name: "version", Value: hairy},
+		Label{Name: "sha", Value: "deadbeef"})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped labels failed to re-parse: %v\n%s", err, buf.Bytes())
+	}
+	want := FormatSeries("cardnet_build_info", []Label{
+		{Name: "sha", Value: "deadbeef"}, {Name: "version", Value: hairy}})
+	if series[want] != 1 {
+		t.Fatalf("info series %q missing or != 1 in %v", want, series)
+	}
+	// The decoded label value must be byte-identical to the original.
+	_, labels, err := splitSeriesID(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for _, l := range labels {
+		if l.Name == "version" {
+			got = l.Value
+		}
+	}
+	if got != hairy {
+		t.Fatalf("label value round trip: %q != %q", got, hairy)
+	}
+}
+
+func TestParsePrometheusExtremeBucketBounds(t *testing.T) {
+	r := NewRegistry()
+	SetEnabled(true)
+	h := r.Histogram("wide.seconds", []float64{1e-9, 1e300, math.Inf(1)})
+	h.Observe(0.5)
+	h.Observe(math.MaxFloat64)
+	series, err := r.SeriesSnapshot()
+	if err != nil {
+		t.Fatalf("extreme bounds failed to round trip: %v", err)
+	}
+	// The explicit +Inf bound must fold into the synthetic one, not
+	// duplicate it.
+	if got := series[`wide_seconds_bucket{le="+Inf"}`]; got != 2 {
+		t.Fatalf("+Inf bucket = %v, want 2 (series: %v)", got, series)
+	}
+	if got := series[`wide_seconds_bucket{le="1e+300"}`]; got != 1 {
+		t.Fatalf("1e+300 bucket = %v, want 1 (series: %v)", got, series)
+	}
+}
+
+func TestParsePrometheusMalformedLabelPositions(t *testing.T) {
+	cases := map[string]string{
+		`m{le="0.1} 1`:               "unterminated label value",
+		`m{le=0.1} 1`:                `expected '"'`,
+		`m{le="a\q"} 1`:              "unknown escape",
+		`m{=\"x\"} 1`:                "invalid label name",
+		`m{a="1"b="2"} 1`:            "expected ',' or '}'",
+		`m{a="1",} 1x`:               "bad value",
+		`m{a="1"} 1 notatime`:        "not a timestamp",
+		`m{a="1"`:                    "expected ',' or '}'",
+		`m{`:                         "unterminated label set",
+		"m{a=\"1\"} 1\nm{a=\"1\"} 2": "duplicate series",
+	}
+	for in, wantMsg := range cases {
+		_, err := ParsePrometheus(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("ParsePrometheus accepted %q", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantMsg) {
+			t.Errorf("ParsePrometheus(%q) error %q, want mention of %q", in, err, wantMsg)
+		}
+		if !strings.Contains(err.Error(), "line ") || !strings.Contains(err.Error(), "col ") {
+			t.Errorf("ParsePrometheus(%q) error %q carries no position", in, err)
+		}
+	}
+	// Timestamps are tolerated; escapes decode; label order canonicalizes.
+	series, err := ParsePrometheus(strings.NewReader(
+		"m{b=\"2\",a=\"1\"} 4 1712345678\nesc{v=\"a\\\\b\\nc\\\"d\"} 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[`m{a="1",b="2"}`] != 4 {
+		t.Fatalf("canonical label order: %v", series)
+	}
+	if series[`esc{v="a\\b\nc\"d"}`] != 1 {
+		t.Fatalf("escape canonicalization: %v", series)
+	}
+}
+
 func TestParsePrometheusRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"no_value_here\n",

@@ -59,6 +59,11 @@ const (
 // StageHistName maps a stage name to its obs histogram name.
 func StageHistName(stage string) string { return "serving.stage." + stage + ".seconds" }
 
+// E2EHistogram is the end-to-end request latency histogram the HTTP layer
+// records and the SLO tracker evaluates; the per-stage histograms above tile
+// it exactly.
+const E2EHistogram = "serving.e2e.seconds"
+
 // Batch flush reasons, annotated on traces and counted under
 // "serving.batch.flush_<reason>".
 const (
