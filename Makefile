@@ -8,9 +8,9 @@ VERSION ?= dev
 GITSHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS = -X main.buildVersion=$(VERSION) -X main.buildSHA=$(GITSHA)
 
-.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train bench-obs bench-serving bench-train
+.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster bench-obs bench-serving bench-train
 
-ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train
+ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -60,16 +60,25 @@ race-train:
 	$(GO) test -race -count=3 ./internal/core -run 'Workers|ParallelCloseToSequential|Sharded'
 	$(GO) test -race -count=3 ./internal/tensor -run 'Parallel|RunParts|SetWorkers'
 
+# Stress the cluster router under the race detector: ring membership churn,
+# concurrent failover with a mid-traffic replica kill, the health prober's
+# loop, and the rollout controller — plus the cmd-level router E2E (real
+# replicas, real model files, canary promote and forced rollback).
+race-cluster:
+	$(GO) test -race -count=3 ./internal/cluster
+	$(GO) test -race -count=2 ./cmd/cardnet -run 'RouterE2E|RunRouter'
+
 # Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
 		-calls 4000 -benchout results/BENCH_obs.json
 
 # Regenerate the serving-throughput baseline (results/BENCH_serving.json):
-# batched vs per-request forward passes and the estimate cache.
+# batched vs per-request forward passes, the estimate cache, admission
+# control under overload, and the router scaling/failover experiments.
 bench-serving:
 	$(GO) run ./cmd/cardnet -mode servebench -dataset HM-ImageNet -n 1200 \
-		-calls 4000 -benchout results/BENCH_serving.json
+		-calls 4000 -cluster -benchout results/BENCH_serving.json
 
 # Regenerate the training-scalability baseline (results/BENCH_train.json):
 # full training runs at workers 1/2/4/NumCPU plus parallel-kernel GFLOP/s.

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cardnet/internal/cluster"
+	"cardnet/internal/core"
+	"cardnet/internal/obs"
+	"cardnet/internal/serving"
+	"cardnet/internal/tensor"
+)
+
+// admissionBench records the admission-control surface of the serving stack
+// under deliberate overload: a tiny queue, one worker, concurrent clients.
+// The 503s here are the contract — load the cluster router fails over on.
+type admissionBench struct {
+	Calls            int     `json:"calls"`
+	Rejected503      int     `json:"rejected_503"`
+	RetryAfterSeen   int     `json:"retry_after_seen"`
+	RejectedFraction float64 `json:"rejected_fraction"`
+}
+
+// clusterRun is one fleet size's throughput measurement through the router.
+type clusterRun struct {
+	Replicas   int     `json:"replicas"`
+	QPS        float64 `json:"qps"`
+	Speedup    float64 `json:"speedup"`    // vs the 1-replica run
+	Efficiency float64 `json:"efficiency"` // speedup / replicas
+	HitRatio   float64 `json:"hit_ratio"`  // estimate-cache hits across the fleet
+}
+
+// clusterBenchSection is the router scaling experiment: the same working set
+// of distinct queries driven through 1, 2, and 4 replicas. The working set
+// is sized past one replica's estimate cache, so the single replica
+// thrashes while sharded fleets keep every partition cache-hot — on one
+// machine the scaling comes from aggregate cache, which is exactly the
+// cache-affinity claim the router makes.
+type clusterBenchSection struct {
+	VNodes         int          `json:"vnodes"`
+	CacheEntries   int          `json:"cache_entries_per_replica"`
+	WorkingSetKeys int          `json:"working_set_keys"`
+	Calls          int          `json:"calls"`
+	Runs           []clusterRun `json:"runs"`
+}
+
+// failoverBenchSection records the mid-bench replica-kill experiment: a
+// 2-replica fleet loses one replica partway through and the client-visible
+// 5xx count must stay zero (failover + ejection absorb the loss).
+type failoverBenchSection struct {
+	Replicas  int    `json:"replicas"`
+	Calls     int    `json:"calls"`
+	Client5xx int    `json:"client_5xx"`
+	Failovers uint64 `json:"failovers"`
+	Ejected   bool   `json:"replica_ejected"`
+}
+
+// benchClient is tuned for many short same-host requests.
+func benchClient() *http.Client {
+	return &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+	}
+}
+
+// runAdmissionBench floods a deliberately tiny engine (queue depth 2, one
+// worker, no cache) through the real HTTP handler and counts what clients
+// see: 503s, Retry-After hints, and the rejected fraction.
+func runAdmissionBench(m *core.Model, testX *tensor.Matrix) (*admissionBench, error) {
+	eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{
+		MaxBatch:     1,
+		MaxWait:      0,
+		QueueDepth:   2,
+		Workers:      1,
+		CacheEntries: -1,
+	})
+	defer eng.Close()
+	ts := httptest.NewServer(newServeMux(eng, serveOptions{}))
+	defer ts.Close()
+	client := benchClient()
+
+	const clients, per = 16, 50
+	bodies := make([][]byte, clients)
+	for c := range bodies {
+		bodies[c] = estimateBodyJSON(testX.Row(c%testX.Rows), c%(m.Cfg.TauMax+1))
+	}
+	var rejected, retryAfter, errs atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := client.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(bodies[c]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					rejected.Add(1)
+					if resp.Header.Get("Retry-After") != "" {
+						retryAfter.Add(1)
+					}
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := errs.Load(); n > 0 {
+		return nil, fmt.Errorf("admission bench: %d transport errors", n)
+	}
+	total := clients * per
+	return &admissionBench{
+		Calls:            total,
+		Rejected503:      int(rejected.Load()),
+		RetryAfterSeen:   int(retryAfter.Load()),
+		RejectedFraction: float64(rejected.Load()) / float64(total),
+	}, nil
+}
+
+// estimateBodyJSON builds the POST /estimate body for one encoded query.
+func estimateBodyJSON(x []float64, tau int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"x":[`)
+	for i, v := range x {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	fmt.Fprintf(&b, `],"tau":%d}`, tau)
+	return b.Bytes()
+}
+
+// benchFleet is the in-process stand-in for N `cardnet serve` replicas plus
+// a router: real handler trees, real engines, real proxying.
+type benchFleet struct {
+	rt       *cluster.Router
+	front    *httptest.Server
+	replicas []*httptest.Server
+	engines  []*serving.Engine
+	reg      *obs.Registry
+}
+
+func newBenchFleet(m *core.Model, n, cacheEntries int, probe time.Duration, ejectAfter int) (*benchFleet, error) {
+	f := &benchFleet{reg: obs.NewRegistry()}
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{
+			MaxBatch:     32,
+			MaxWait:      200 * time.Microsecond,
+			QueueDepth:   4096,
+			CacheEntries: cacheEntries,
+		})
+		f.engines = append(f.engines, eng)
+		ts := httptest.NewServer(newServeMux(eng, serveOptions{}))
+		f.replicas = append(f.replicas, ts)
+		bases[i] = ts.URL
+	}
+	rt, err := cluster.New(cluster.Config{
+		Replicas:      bases,
+		Registry:      f.reg,
+		ProbeInterval: probe,
+		EjectAfter:    ejectAfter,
+	})
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.rt = rt
+	f.front = httptest.NewServer(rt.Handler())
+	return f, nil
+}
+
+func (f *benchFleet) close() {
+	if f.front != nil {
+		f.front.Close()
+	}
+	if f.rt != nil {
+		f.rt.Close()
+	}
+	for _, ts := range f.replicas {
+		ts.Close()
+	}
+	for _, eng := range f.engines {
+		eng.Close()
+	}
+}
+
+// runClusterBench measures aggregate throughput through the router at 1, 2,
+// and 4 replicas over a fixed working set of distinct queries, then runs the
+// kill-a-replica failover experiment at 2 replicas.
+func runClusterBench(m *core.Model, testX *tensor.Matrix) (*clusterBenchSection, *failoverBenchSection, error) {
+	const cacheEntries = 320
+	tauMax := m.Cfg.TauMax
+	// Distinct (x, τ) pairs: 1.6× one replica's cache, so a lone replica's
+	// LRU thrashes under the cyclic scan while each shard of a 2+-replica
+	// split fits its cache.
+	workingSet := cacheEntries * 8 / 5
+	if max := testX.Rows * (tauMax + 1); workingSet > max {
+		workingSet = max
+	}
+	bodies := make([][]byte, workingSet)
+	for i := range bodies {
+		bodies[i] = estimateBodyJSON(testX.Row(i%testX.Rows), (i/testX.Rows)%(tauMax+1))
+	}
+	calls := 6 * workingSet
+
+	sec := &clusterBenchSection{
+		VNodes:         cluster.DefaultVNodes,
+		CacheEntries:   cacheEntries,
+		WorkingSetKeys: workingSet,
+		Calls:          calls,
+	}
+	client := benchClient()
+	for _, n := range []int{1, 2, 4} {
+		f, err := newBenchFleet(m, n, cacheEntries, 0, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		qps, hit, err := driveFleet(client, f, bodies, calls, -1, nil)
+		f.close()
+		if err != nil {
+			return nil, nil, err
+		}
+		run := clusterRun{Replicas: n, QPS: qps, HitRatio: hit}
+		if len(sec.Runs) > 0 && sec.Runs[0].QPS > 0 {
+			run.Speedup = qps / sec.Runs[0].QPS
+			run.Efficiency = run.Speedup / float64(n)
+		} else {
+			run.Speedup = 1
+			run.Efficiency = 1
+		}
+		sec.Runs = append(sec.Runs, run)
+	}
+
+	// Failover: 2 replicas, aggressive probing, one replica hard-killed a
+	// third of the way in.
+	f, err := newBenchFleet(m, 2, cacheEntries, 20*time.Millisecond, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.close()
+	f.rt.Start()
+	foCalls := 4 * workingSet
+	var bad atomic.Int64
+	_, _, err = driveFleet(client, f, bodies, foCalls, foCalls/3, &bad)
+	if err != nil {
+		return nil, nil, err
+	}
+	fo := &failoverBenchSection{
+		Replicas:  2,
+		Calls:     foCalls,
+		Client5xx: int(bad.Load()),
+		Failovers: f.reg.Counter("cluster.failovers").Value(),
+		Ejected:   f.rt.Ring().Len() == 1,
+	}
+	return sec, fo, nil
+}
+
+// driveFleet pushes calls requests through the fleet's router from 4
+// concurrent clients cycling the working set in order (the cyclic scan is
+// what defeats a too-small LRU). killAt >= 0 hard-kills the last replica
+// after that many of client 0's requests; bad counts 5xx responses. Returns
+// aggregate QPS and the fleet-wide estimate-cache hit ratio, measured after
+// one warm pass.
+func driveFleet(client *http.Client, f *benchFleet, bodies [][]byte, calls, killAt int, bad *atomic.Int64) (qps, hitRatio float64, err error) {
+	post := func(i int) (int, error) {
+		resp, err := client.Post(f.front.URL+"/estimate", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	// Warm pass: populate every replica's cache partition.
+	for i := range bodies {
+		if _, err := post(i); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	hits0 := obs.Default.Counter("serving.cache.hits").Value()
+	miss0 := obs.Default.Counter("serving.cache.misses").Value()
+	const clients = 4
+	per := calls / clients
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	wg.Add(clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if c == 0 && killAt >= 0 && i == killAt/clients {
+					victim := f.replicas[len(f.replicas)-1]
+					victim.CloseClientConnections()
+					victim.Close()
+				}
+				code, err := post(c*per + i)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if bad != nil && code >= 500 {
+					bad.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	if n := errs.Load(); n > 0 {
+		return 0, 0, fmt.Errorf("cluster bench: %d transport errors", n)
+	}
+	hits := float64(obs.Default.Counter("serving.cache.hits").Value() - hits0)
+	misses := float64(obs.Default.Counter("serving.cache.misses").Value() - miss0)
+	if hits+misses > 0 {
+		hitRatio = hits / (hits + misses)
+	}
+	return float64(per*clients) / elapsed, hitRatio, nil
+}

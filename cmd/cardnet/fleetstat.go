@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,7 +35,8 @@ type fleetRow struct {
 // by interval, so counter deltas yield rates) and prints one row per
 // replica: reachability, health, SLO state, drift verdict, build and model
 // versions, QPS, and the p99 latency over the polling interval. A nil
-// client uses a 5s-timeout default. Unreachable peers still get a row.
+// client uses the shared obs scrape client (5s timeout), the same one the
+// cluster router's health prober uses. Unreachable peers still get a row.
 func runFleetstat(w io.Writer, peers []string, interval time.Duration, client *http.Client) error {
 	if len(peers) == 0 {
 		return errors.New("no peers (use -peers host:port,host:port)")
@@ -44,19 +44,19 @@ func runFleetstat(w io.Writer, peers []string, interval time.Duration, client *h
 	if interval <= 0 {
 		interval = time.Second
 	}
-	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
-	}
 	metricsURLs := make([]string, len(peers))
+	healthURLs := make([]string, len(peers))
 	for i, p := range peers {
 		metricsURLs[i] = p + "/metrics"
+		healthURLs[i] = p + "/healthz"
 	}
 
 	ctx := context.Background()
 	first := obs.GatherRemote(ctx, client, metricsURLs)
+	hz := obs.GatherJSON(ctx, client, healthURLs)
 	health := make([]map[string]any, len(peers))
-	for i, p := range peers {
-		health[i] = fetchHealthz(ctx, client, p+"/healthz")
+	for i := range hz {
+		health[i] = hz[i].Doc // nil on fetch error: metrics decide up/down
 	}
 	time.Sleep(interval)
 	second := obs.GatherRemote(ctx, client, metricsURLs)
@@ -114,28 +114,6 @@ func buildFleetRow(first, second obs.RemoteSnapshot, hz map[string]any, interval
 		row.p99ms = slo.BucketQuantile(bounds, counts, 0.99) * 1e3
 	}
 	return row
-}
-
-// fetchHealthz GETs and decodes one replica's /healthz; nil on any failure
-// (the metrics scrape decides up/down, healthz only fills columns).
-func fetchHealthz(ctx context.Context, client *http.Client, url string) map[string]any {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil
-	}
-	var hz map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
-		return nil
-	}
-	return hz
 }
 
 // healthzString reads a string field from a healthz document, "-" when

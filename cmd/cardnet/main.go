@@ -10,6 +10,7 @@
 //	cardnet -mode estimate -dataset HM-ImageNet -model model.gob -queries 20
 //	cardnet -mode update -dataset HM-ImageNet -model model.gob
 //	cardnet -mode serve -model model.gob -addr :8089
+//	cardnet -mode router -addr :8088 -replicas http://127.0.0.1:8089,http://127.0.0.1:8090
 //	cardnet -mode obsbench -dataset HM-ImageNet -benchout results/BENCH_obs.json
 //	cardnet -mode servebench -dataset HM-ImageNet -benchout results/BENCH_serving.json
 //	cardnet -mode trainbench -dataset HM-ImageNet -benchout results/BENCH_train.json
@@ -26,9 +27,16 @@
 // estimate cache, hot model swap — tune with -maxbatch/-maxwait/-queue/
 // -workers/-cache) and exposes POST/GET /estimate, POST /admin/reload,
 // /metrics (obs registry snapshot), /healthz, and /debug/pprof/*; it shuts
-// down gracefully on SIGINT/SIGTERM. Obsbench records estimate-path latency
+// down gracefully on SIGINT/SIGTERM. Router fronts N serve replicas with
+// cache-affine consistent-hash routing on (hash(x), τ), health probing with
+// ejection, bounded failover on 503/connect errors, graceful drain, and
+// canary model rollout via POST /admin/rollout (tune with -replicas/-vnodes/
+// -probe-interval/-eject-after/-failover-retries/-rollout-*). Obsbench
+// records estimate-path latency
 // with instrumentation on vs. off; servebench records batched vs per-request
-// throughput and the estimate cache's effect; trainbench sweeps the
+// throughput and the estimate cache's effect (and with -cluster, router
+// scaling efficiency vs. replica count plus a mid-bench replica-kill failover
+// run); trainbench sweeps the
 // data-parallel training engine over worker counts and records epoch/total
 // speedups plus tensor-kernel GFLOP/s.
 package main
@@ -45,6 +53,7 @@ import (
 
 	"cardnet/internal/bench"
 	"cardnet/internal/checkpoint"
+	"cardnet/internal/cluster"
 	"cardnet/internal/core"
 	"cardnet/internal/dataset"
 	"cardnet/internal/metrics"
@@ -66,7 +75,7 @@ var (
 
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update | serve | fleetstat | obsbench | servebench | trainbench")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | router | fleetstat | obsbench | servebench | trainbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
 	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
@@ -105,6 +114,16 @@ func main() {
 	profileP99 := flag.Duration("profile-p99", 0, "serve: capture a profile when the fast-window p99 exceeds this (0 = only on SLO page)")
 	peersFlag := flag.String("peers", "", "serve/fleetstat: comma-separated peer addresses (host:port or URL) to federate/inspect")
 	fleetInterval := flag.Duration("fleet-interval", time.Second, "fleetstat: gap between the two metric polls that yield QPS")
+	replicasFlag := flag.String("replicas", "", "router: comma-separated replica base URLs to front (host:port or URL)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "router: virtual nodes per replica on the consistent-hash ring")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router: gap between replica health-probe sweeps")
+	ejectAfter := flag.Int("eject-after", 3, "router: consecutive failed probes before a replica leaves the ring")
+	failoverRetries := flag.Int("failover-retries", 2, "router: extra ring nodes tried after the primary rejects or is unreachable")
+	rolloutBake := flag.Duration("rollout-bake", 30*time.Second, "router: canary bake period before the promote/rollback verdict")
+	rolloutMaxRegression := flag.Float64("rollout-max-regression", 0.25, "router: tolerated canary q-error overshoot vs the fleet median before rollback")
+	rolloutMinSamples := flag.Int("rollout-min-samples", 20, "router: q-error samples the canary window needs before its EWMA is trusted")
+	rolloutJournal := flag.String("rollout-journal", "off", `router: JSONL rollout-decision journal path ("off" = disabled)`)
+	clusterBench := flag.Bool("cluster", false, "servebench: also measure router scaling (1/2/4 replicas) and mid-bench failover")
 	flag.Parse()
 
 	// Identity metrics: which build is this, and when did it start. The info
@@ -301,6 +320,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
+	case "router":
+		err := runRouter(*addr, routerSettings{
+			replicas:        *replicasFlag,
+			vnodes:          *vnodes,
+			probeInterval:   *probeInterval,
+			ejectAfter:      *ejectAfter,
+			retries:         *failoverRetries,
+			bake:            *rolloutBake,
+			maxRegression:   *rolloutMaxRegression,
+			rolloutMinSamps: *rolloutMinSamples,
+			journalPath:     *rolloutJournal,
+		})
+		if err != nil {
+			log.Fatalf("router: %v", err)
+		}
 	case "fleetstat":
 		if err := runFleetstat(os.Stdout, splitPeers(*peersFlag), *fleetInterval, nil); err != nil {
 			log.Fatalf("fleetstat: %v", err)
@@ -350,6 +384,13 @@ func main() {
 		}
 		rep.Dataset = *dsName
 		rep.Records = *n
+		if *clusterBench {
+			cl, fo, err := runClusterBench(m, b.TestX)
+			if err != nil {
+				log.Fatalf("servebench -cluster: %v", err)
+			}
+			rep.Cluster, rep.Failover = cl, fo
+		}
 		if err := rep.write(out); err != nil {
 			log.Fatalf("servebench: %v", err)
 		}
@@ -363,6 +404,22 @@ func main() {
 			rep.Tracing.OverheadP50Pct, rep.Tracing.Untraced.P50Micros, rep.Tracing.Traced.P50Micros)
 		log.Printf("queue wait p50/p95: %.0f/%.0fus, mean batch %.1f, flush mix %v -> %s",
 			rep.Tracing.QueueWaitP50Us, rep.Tracing.QueueWaitP95Us, rep.Tracing.MeanBatchSize, rep.Tracing.FlushMix, out)
+		if rep.Admission != nil {
+			log.Printf("admission: %d/%d rejected 503 (%.1f%%), Retry-After on %d",
+				rep.Admission.Rejected503, rep.Admission.Calls,
+				100*rep.Admission.RejectedFraction, rep.Admission.RetryAfterSeen)
+		}
+		if rep.Cluster != nil {
+			for _, r := range rep.Cluster.Runs {
+				log.Printf("cluster %d replica(s): %.0f req/s (%.2fx, efficiency %.2f, hit ratio %.2f)",
+					r.Replicas, r.QPS, r.Speedup, r.Efficiency, r.HitRatio)
+			}
+		}
+		if rep.Failover != nil {
+			log.Printf("failover: killed 1 of %d replicas mid-bench: %d client 5xx over %d calls, %d failovers, ejected=%v",
+				rep.Failover.Replicas, rep.Failover.Client5xx, rep.Failover.Calls,
+				rep.Failover.Failovers, rep.Failover.Ejected)
+		}
 	case "trainbench":
 		b := buildBundle()
 		rep := runTrainBench(b, *accel, *seed, *benchEpochs)

@@ -66,6 +66,12 @@ type serveBenchReport struct {
 	Batched []batchPoint `json:"batched"`
 	Engine  engineBench  `json:"engine"`
 	Tracing traceBench   `json:"tracing"`
+	// Admission records what overloaded clients see (503 + Retry-After).
+	Admission *admissionBench `json:"admission,omitempty"`
+	// Cluster and Failover are the -cluster router experiments: scaling
+	// efficiency over 1/2/4 replicas and the mid-bench replica kill.
+	Cluster  *clusterBenchSection  `json:"cluster,omitempty"`
+	Failover *failoverBenchSection `json:"failover,omitempty"`
 }
 
 // runServeBench measures the three levers of the serving subsystem: the
@@ -131,6 +137,12 @@ func runServeBench(m *core.Model, testX *tensor.Matrix, calls int) (*serveBenchR
 		return nil, err
 	}
 	rep.Tracing = *tb
+
+	adm, err := runAdmissionBench(m, testX)
+	if err != nil {
+		return nil, err
+	}
+	rep.Admission = adm
 	return rep, nil
 }
 

@@ -32,6 +32,7 @@ import (
 // documented.
 var docPackages = []string{
 	"internal/checkpoint",
+	"internal/cluster",
 	"internal/serving",
 	"internal/obs",
 	"internal/obs/monitor",

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cardnet/internal/obs"
+)
+
+// ReplicaHealth is one replica's probed state as the router sees it.
+type ReplicaHealth struct {
+	// Base is the replica's base URL (http://host:port).
+	Base string `json:"base"`
+	// Healthy reports ring membership: false once EjectAfter consecutive
+	// probes failed, true again after the first success.
+	Healthy bool `json:"healthy"`
+	// Fails counts consecutive failed probes (0 when healthy).
+	Fails int `json:"fails"`
+	// LastErr is the latest probe error, "" when the last probe succeeded.
+	LastErr string `json:"last_err,omitempty"`
+	// Status, Drift, and SLO mirror the replica's /healthz fields.
+	Status string `json:"status,omitempty"`
+	Drift  string `json:"drift,omitempty"`
+	SLO    string `json:"slo,omitempty"`
+	// ModelVersion is the replica's serving-registry version (rollouts bump
+	// it via /admin/reload).
+	ModelVersion uint64 `json:"model_version"`
+	// EstimateRequests is the replica's cumulative /estimate request counter
+	// from its /metrics exposition.
+	EstimateRequests float64 `json:"estimate_requests"`
+}
+
+// ProberConfig tunes the health prober. Zero values take the documented
+// defaults.
+type ProberConfig struct {
+	// Interval between probe sweeps (default 2s).
+	Interval time.Duration
+	// EjectAfter is the consecutive-failure threshold that ejects a replica
+	// (default 3).
+	EjectAfter int
+	// Client issues the probes; nil uses the shared obs scrape client
+	// (5s timeout), keeping probe semantics identical to fleetstat's.
+	Client *http.Client
+	// OnChange, when set, fires on every health transition (ejection and
+	// restoration). The router wires ring membership here. Called without
+	// the prober's lock held.
+	OnChange func(base string, healthy bool)
+	// Registry receives prober metrics (nil uses obs.Default).
+	Registry *obs.Registry
+}
+
+// Prober drives periodic /healthz + /metrics probes of a fixed replica set
+// and tracks per-replica health with consecutive-failure ejection. Replicas
+// start healthy (optimistic: the router can route before the first sweep);
+// the probe loop then converges the view within EjectAfter intervals.
+type Prober struct {
+	cfg    ProberConfig
+	bases  []string
+	client *http.Client
+
+	mu     sync.Mutex
+	states map[string]*ReplicaHealth
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+
+	mSweeps   *obs.Counter
+	mEject    *obs.Counter
+	mRestore  *obs.Counter
+	gHealthy  *obs.Gauge
+	gReplicas *obs.Gauge
+}
+
+// NewProber builds an unstarted prober over the replica base URLs.
+func NewProber(bases []string, cfg ProberConfig) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	p := &Prober{
+		cfg:       cfg,
+		bases:     append([]string(nil), bases...),
+		client:    cfg.Client,
+		states:    make(map[string]*ReplicaHealth, len(bases)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		mSweeps:   reg.Counter("cluster.probe.sweeps"),
+		mEject:    reg.Counter("cluster.replica.ejections"),
+		mRestore:  reg.Counter("cluster.replica.restores"),
+		gHealthy:  reg.Gauge("cluster.replicas.healthy"),
+		gReplicas: reg.Gauge("cluster.replicas.configured"),
+	}
+	sort.Strings(p.bases)
+	for _, b := range p.bases {
+		p.states[b] = &ReplicaHealth{Base: b, Healthy: true}
+	}
+	p.gReplicas.Set(float64(len(p.bases)))
+	p.gHealthy.Set(float64(len(p.bases)))
+	return p
+}
+
+// Start launches the periodic probe loop; Stop ends it. Each sweep gets at
+// least probeTimeoutFloor regardless of how aggressive the interval is — a
+// sub-second interval must speed up *detection*, not make a loaded replica
+// look dead because it needed 50ms to answer /healthz.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	p.started = true
+	p.mu.Unlock()
+	timeout := p.cfg.Interval
+	if timeout < probeTimeoutFloor {
+		timeout = probeTimeoutFloor
+	}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				p.ProbeOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// probeTimeoutFloor is the minimum per-sweep probe deadline.
+const probeTimeoutFloor = 2 * time.Second
+
+// Stop ends the probe loop and waits for it to exit. Safe to call more than
+// once, and safe on a never-started prober.
+func (p *Prober) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	started := p.started
+	p.mu.Unlock()
+	if started {
+		<-p.done
+	}
+}
+
+// ProbeOnce runs one probe sweep: every replica's /healthz and /metrics are
+// fetched concurrently through the shared scrape helpers, and health states
+// advance (exported so tests and the router's bench can drive probing
+// deterministically).
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	p.mSweeps.Inc()
+	hzURLs := make([]string, len(p.bases))
+	metURLs := make([]string, len(p.bases))
+	for i, b := range p.bases {
+		hzURLs[i] = b + "/healthz"
+		metURLs[i] = b + "/metrics"
+	}
+	var hz []obs.JSONSnapshot
+	var met []obs.RemoteSnapshot
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); hz = obs.GatherJSON(ctx, p.client, hzURLs) }()
+	go func() { defer wg.Done(); met = obs.GatherRemote(ctx, p.client, metURLs) }()
+	wg.Wait()
+
+	type change struct {
+		base    string
+		healthy bool
+	}
+	var changes []change
+	p.mu.Lock()
+	healthy := 0
+	for i, b := range p.bases {
+		st := p.states[b]
+		err := hz[i].Err
+		if err == nil {
+			err = met[i].Err
+		}
+		if err != nil {
+			st.LastErr = err.Error()
+			st.Fails++
+			if st.Healthy && st.Fails >= p.cfg.EjectAfter {
+				st.Healthy = false
+				p.mEject.Inc()
+				changes = append(changes, change{b, false})
+			}
+		} else {
+			st.LastErr = ""
+			st.Fails = 0
+			st.Status = jsonString(hz[i].Doc, "status")
+			st.Drift = jsonString(hz[i].Doc, "drift")
+			st.SLO = jsonString(hz[i].Doc, "slo")
+			if mv, ok := hz[i].Doc["model_version"].(float64); ok {
+				st.ModelVersion = uint64(mv)
+			}
+			st.EstimateRequests = met[i].Series[obs.PromName("http.estimate.requests")+"_total"]
+			if !st.Healthy {
+				st.Healthy = true
+				p.mRestore.Inc()
+				changes = append(changes, change{b, true})
+			}
+		}
+		if st.Healthy {
+			healthy++
+		}
+	}
+	p.gHealthy.Set(float64(healthy))
+	p.mu.Unlock()
+
+	if p.cfg.OnChange != nil {
+		for _, c := range changes {
+			p.cfg.OnChange(c.base, c.healthy)
+		}
+	}
+}
+
+// Snapshot returns a copy of every replica's state, sorted by base URL.
+func (p *Prober) Snapshot() []ReplicaHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ReplicaHealth, 0, len(p.bases))
+	for _, b := range p.bases {
+		out = append(out, *p.states[b])
+	}
+	return out
+}
+
+// Healthy returns the currently healthy replica base URLs, sorted.
+func (p *Prober) Healthy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, b := range p.bases {
+		if p.states[b].Healthy {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// jsonString reads a string field from a decoded JSON document.
+func jsonString(doc map[string]any, key string) string {
+	s, _ := doc[key].(string)
+	return s
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"cardnet/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer so the journal can be read
+// while the rollout goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// fastRollout builds a controller with a short bake for tests.
+func fastRollout(journal *obs.Sink) *Rollout {
+	return NewRollout(RolloutConfig{
+		Bake:     120 * time.Millisecond,
+		Poll:     30 * time.Millisecond,
+		Journal:  journal,
+		Registry: obs.NewRegistry(),
+	})
+}
+
+func healthyOf(reps ...*fakeReplica) func() []string {
+	return func() []string {
+		out := make([]string, len(reps))
+		for i, r := range reps {
+			out[i] = r.base()
+		}
+		return out
+	}
+}
+
+// journalEvents parses the JSONL journal into its event-name sequence.
+func journalEvents(t *testing.T, raw string) []string {
+	t.Helper()
+	var events []string
+	sc := bufio.NewScanner(bytes.NewBufferString(raw))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("journal line not JSON: %q: %v", sc.Text(), err)
+		}
+		ev, _ := rec["event"].(string)
+		if ev == "" || rec["ts"] == nil {
+			t.Fatalf("journal line missing event/ts: %q", sc.Text())
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestRolloutPromote is the happy-path E2E: canary reload, a clean bake
+// verdict, then promotion of every other replica and a complete journal.
+func TestRolloutPromote(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	for _, r := range []*fakeReplica{a, b, c} {
+		r.setDrift(1.20, 50, "ok")
+	}
+	var buf syncBuffer
+	ro := fastRollout(obs.NewSink(&buf))
+	if err := ro.Start("models/v2.bin", "models/v1.bin", healthyOf(a, b, c)); err != nil {
+		t.Fatal(err)
+	}
+	if st := ro.Status(); st.State != RolloutCanary {
+		t.Fatalf("state after start = %s, want canary", st.State)
+	}
+	ro.Wait()
+
+	st := ro.Status()
+	if st.State != RolloutOK {
+		t.Fatalf("final state = %s (err %q), want ok", st.State, st.Error)
+	}
+	// healthyOf sorts nothing: Start sorts, so the canary is the smallest
+	// base URL; the other two must have been promoted.
+	canary := st.Canary
+	if len(st.Promoted) != 2 {
+		t.Fatalf("promoted %v, want 2 replicas", st.Promoted)
+	}
+	for _, r := range []*fakeReplica{a, b, c} {
+		paths := r.reloadedPaths()
+		if len(paths) != 1 || paths[0] != "models/v2.bin" {
+			t.Fatalf("replica %s reloads = %v, want [models/v2.bin]", r.id, paths)
+		}
+		if r.base() == canary {
+			continue
+		}
+		found := false
+		for _, p := range st.Promoted {
+			if p == r.base() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replica %s missing from promoted set %v", r.id, st.Promoted)
+		}
+	}
+	if st.CanarySamples != 50 || st.CanaryQError != 1.20 {
+		t.Fatalf("bake stats = %+v", st)
+	}
+
+	events := journalEvents(t, buf.String())
+	want := []string{"rollout.start", "rollout.canary", "rollout.promote", "rollout.promote", "rollout.done"}
+	if len(events) != len(want) {
+		t.Fatalf("journal events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("journal events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestRolloutRollback forces a regression: the canary's q-error EWMA bakes
+// far above the fleet median, so the verdict restores the rollback model
+// onto the canary and nobody else is touched.
+func TestRolloutRollback(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	var buf syncBuffer
+	ro := fastRollout(obs.NewSink(&buf))
+	if err := ro.Start("models/v2.bin", "models/v1.bin", healthyOf(a, b, c)); err != nil {
+		t.Fatal(err)
+	}
+	canaryBase := ro.Status().Canary
+	var canary *fakeReplica
+	others := []*fakeReplica{}
+	for _, r := range []*fakeReplica{a, b, c} {
+		if r.base() == canaryBase {
+			canary = r
+		} else {
+			others = append(others, r)
+		}
+	}
+	// The canary regresses hard; the fleet is fine.
+	canary.setDrift(4.0, 200, "ok")
+	for _, r := range others {
+		r.setDrift(1.1, 200, "ok")
+	}
+	ro.Wait()
+
+	st := ro.Status()
+	if st.State != RolloutRolledBack {
+		t.Fatalf("final state = %s (err %q), want rolled-back", st.State, st.Error)
+	}
+	if len(st.Promoted) != 0 {
+		t.Fatalf("promoted %v during a rollback", st.Promoted)
+	}
+	paths := canary.reloadedPaths()
+	if len(paths) != 2 || paths[0] != "models/v2.bin" || paths[1] != "models/v1.bin" {
+		t.Fatalf("canary reloads = %v, want canary then rollback", paths)
+	}
+	for _, r := range others {
+		if got := r.reloadedPaths(); len(got) != 0 {
+			t.Fatalf("non-canary %s reloaded %v during rollback", r.id, got)
+		}
+	}
+	events := journalEvents(t, buf.String())
+	want := []string{"rollout.start", "rollout.canary", "rollout.rollback", "rollout.done"}
+	if len(events) != len(want) {
+		t.Fatalf("journal events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("journal events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestRolloutDriftStatusTriggersRollback checks the second regression
+// trigger: the canary's own drift monitor saying retrain-recommended rolls
+// back even when the EWMA comparison alone would pass.
+func TestRolloutDriftStatusTriggersRollback(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	ro := fastRollout(nil)
+	if err := ro.Start("models/v2.bin", "models/v1.bin", healthyOf(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	canaryBase := ro.Status().Canary
+	for _, r := range []*fakeReplica{a, b} {
+		if r.base() == canaryBase {
+			r.setDrift(1.0, 50, "retrain-recommended")
+		} else {
+			r.setDrift(1.0, 50, "ok")
+		}
+	}
+	ro.Wait()
+	if st := ro.Status(); st.State != RolloutRolledBack {
+		t.Fatalf("final state = %s, want rolled-back", st.State)
+	}
+}
+
+// TestRolloutIdleFleetPromotes checks the no-evidence path: with zero
+// q-error samples anywhere there is nothing to compare, so the rollout
+// promotes rather than wedging.
+func TestRolloutIdleFleetPromotes(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	ro := fastRollout(nil)
+	if err := ro.Start("models/v2.bin", "", healthyOf(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	ro.Wait()
+	if st := ro.Status(); st.State != RolloutOK {
+		t.Fatalf("final state = %s (err %q), want ok", st.State, st.Error)
+	}
+}
+
+// TestRolloutConflictAndCanaryFailure checks Start's concurrency guard and
+// the failed terminal state when the canary refuses the reload.
+func TestRolloutConflictAndCanaryFailure(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	ro := fastRollout(nil)
+	if err := ro.Start("models/v2.bin", "", healthyOf(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Start("models/v3.bin", "", healthyOf(a, b)); err != ErrRolloutActive {
+		t.Fatalf("concurrent Start err = %v, want ErrRolloutActive", err)
+	}
+	ro.Wait()
+
+	// A second rollout may start once the first is terminal; "reject" makes
+	// the canary's /admin/reload answer 409.
+	if err := ro.Start("reject", "", healthyOf(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	ro.Wait()
+	if st := ro.Status(); st.State != RolloutFailed || st.Error == "" {
+		t.Fatalf("state after refused canary reload = %+v, want failed", st)
+	}
+
+	if err := ro.Start("models/v4.bin", "", func() []string { return nil }); err != ErrNoReplicas {
+		t.Fatalf("empty fleet err = %v, want ErrNoReplicas", err)
+	}
+}

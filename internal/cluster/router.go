@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cardnet/internal/obs"
+)
+
+// Config tunes the router. Zero values take the documented defaults.
+type Config struct {
+	// Replicas are the fronted replica base URLs (http://host:port).
+	// Required, at least one.
+	Replicas []string
+	// VNodes is the virtual-node count per replica (default DefaultVNodes).
+	VNodes int
+	// Retries is the failover budget: how many additional ring nodes a
+	// request may try after the primary rejects with 503 or is unreachable
+	// (default 2).
+	Retries int
+	// ProxyTimeout bounds one client request end to end, all failover
+	// attempts included (default 5s).
+	ProxyTimeout time.Duration
+	// MaxCooloff caps how long a Retry-After hint keeps a replica out of
+	// the routing candidate set (default 5s).
+	MaxCooloff time.Duration
+	// ProbeInterval and EjectAfter configure the health prober (see
+	// ProberConfig).
+	ProbeInterval time.Duration
+	EjectAfter    int
+	// Client issues proxied requests and probes; nil uses a dedicated
+	// client with sane timeouts.
+	Client *http.Client
+	// Registry receives router metrics (nil uses obs.Default).
+	Registry *obs.Registry
+	// Rollout tunes the model-rollout controller.
+	Rollout RolloutConfig
+}
+
+// replicaMetrics are the per-replica counters the router maintains: proxied
+// requests and failed attempts (connect errors or 503 rejections).
+type replicaMetrics struct {
+	requests *obs.Counter
+	failures *obs.Counter
+}
+
+// Router fronts a replica fleet: cache-affine consistent-hash routing of
+// /estimate and /feedback, health-driven ring membership, bounded failover,
+// and rolling model rollout. Create with New, route with Handler, start
+// probing with Start, stop with Close.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	prober  *Prober
+	rollout *Rollout
+	client  *http.Client
+	reg     *obs.Registry
+
+	draining atomic.Bool
+
+	coolMu  sync.Mutex
+	cooloff map[string]time.Time // replica base -> no traffic until
+
+	perReplica map[string]*replicaMetrics
+
+	mRequests   *obs.Counter
+	mFailovers  *obs.Counter
+	mCooloffs   *obs.Counter
+	mExhausted  *obs.Counter
+	mNoReplicas *obs.Counter
+	gRingSize   *obs.Gauge
+	hProxy      *obs.Histogram
+}
+
+// ErrNoReplicas is returned by New when the config names no replicas.
+var ErrNoReplicas = errors.New("cluster: no replicas configured")
+
+// New builds a router over cfg.Replicas. The prober is not started; call
+// Start (tests drive ProbeOnce instead).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.ProxyTimeout <= 0 {
+		cfg.ProxyTimeout = 5 * time.Second
+	}
+	if cfg.MaxCooloff <= 0 {
+		cfg.MaxCooloff = 5 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.ProxyTimeout}
+	}
+	rt := &Router{
+		cfg:         cfg,
+		ring:        NewRing(cfg.VNodes),
+		client:      client,
+		reg:         reg,
+		cooloff:     make(map[string]time.Time),
+		perReplica:  make(map[string]*replicaMetrics, len(cfg.Replicas)),
+		mRequests:   reg.Counter("cluster.requests"),
+		mFailovers:  reg.Counter("cluster.failovers"),
+		mCooloffs:   reg.Counter("cluster.retry_after.cooloffs"),
+		mExhausted:  reg.Counter("cluster.exhausted"),
+		mNoReplicas: reg.Counter("cluster.no_replicas"),
+		gRingSize:   reg.Gauge("cluster.ring.size"),
+		hProxy:      reg.Histogram("cluster.proxy.seconds", obs.TimeBuckets()),
+	}
+	for _, b := range cfg.Replicas {
+		base := normalizeBase(b)
+		rt.ring.Add(base)
+		rt.perReplica[base] = &replicaMetrics{
+			requests: reg.Counter("cluster.replica." + sanitizeNode(base) + ".requests"),
+			failures: reg.Counter("cluster.replica." + sanitizeNode(base) + ".failures"),
+		}
+	}
+	rt.gRingSize.Set(float64(rt.ring.Len()))
+	rt.prober = NewProber(rt.ring.Nodes(), ProberConfig{
+		Interval:   cfg.ProbeInterval,
+		EjectAfter: cfg.EjectAfter,
+		Client:     cfg.Client, // nil -> shared obs scrape client
+		Registry:   reg,
+		OnChange:   rt.onHealthChange,
+	})
+	rcfg := cfg.Rollout
+	rcfg.Client = client
+	rt.rollout = NewRollout(rcfg)
+	return rt, nil
+}
+
+// onHealthChange keeps ring membership in lockstep with probed health.
+func (rt *Router) onHealthChange(base string, healthy bool) {
+	if healthy {
+		rt.ring.Add(base)
+	} else {
+		rt.ring.Remove(base)
+	}
+	rt.gRingSize.Set(float64(rt.ring.Len()))
+}
+
+// Start launches the health probe loop.
+func (rt *Router) Start() { rt.prober.Start() }
+
+// Drain marks the router draining: /healthz flips to "draining" so load
+// balancers stop sending new traffic while in-flight requests finish.
+func (rt *Router) Drain() { rt.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Close stops the prober and any in-flight rollout wait.
+func (rt *Router) Close() {
+	rt.prober.Stop()
+	rt.rollout.Stop()
+}
+
+// Prober exposes the router's health prober (benchmarks and tests drive
+// ProbeOnce deterministically).
+func (rt *Router) Prober() *Prober { return rt.prober }
+
+// Ring exposes the routing ring (read-only use: Nodes/Len/Lookup).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Rollout exposes the rollout controller.
+func (rt *Router) Rollout() *Rollout { return rt.rollout }
+
+// Handler returns the router's endpoint tree: proxied /estimate and
+// /feedback, the router's own /healthz and /metrics, and /admin/rollout.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", rt.handleProxy)
+	mux.HandleFunc("/feedback", rt.handleProxy)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/admin/rollout", rt.handleRollout)
+	return mux
+}
+
+// routeKey is the slice of an estimate/feedback body the router must
+// decode: just enough to compute the affinity key. Everything else passes
+// through opaque.
+type routeKey struct {
+	X   []float64 `json:"x"`
+	Tau *int      `json:"tau"`
+	All bool      `json:"all"`
+}
+
+// handleProxy routes one /estimate or /feedback request to its ring node
+// with bounded failover.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rt.mRequests.Inc()
+	start := time.Now()
+	defer func() { rt.hProxy.ObserveDuration(time.Since(start)) }()
+
+	body, key, err := rt.extractKey(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	budget := 1 + rt.cfg.Retries
+	candidates := rt.ring.Successors(key, budget)
+	if len(candidates) == 0 {
+		rt.mNoReplicas.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy replicas")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
+	defer cancel()
+
+	// First pass over candidates skips replicas inside a Retry-After
+	// cooloff; if that skips everyone, the cooling candidates are retried
+	// anyway rather than failing a request the fleet could serve.
+	ordered := rt.orderCandidates(candidates)
+	var last *http.Response
+	var lastBody []byte
+	for i, base := range ordered {
+		if i > 0 {
+			rt.mFailovers.Inc()
+		}
+		resp, respBody, err := rt.forward(ctx, base, r, body)
+		pm := rt.perReplica[base]
+		if pm != nil {
+			pm.requests.Inc()
+		}
+		if err != nil {
+			if pm != nil {
+				pm.failures.Inc()
+			}
+			if ctx.Err() != nil {
+				writeError(w, http.StatusGatewayTimeout, "proxy deadline: "+ctx.Err().Error())
+				return
+			}
+			continue // connect error: fail over
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if pm != nil {
+				pm.failures.Inc()
+			}
+			rt.noteRetryAfter(base, resp.Header.Get("Retry-After"))
+			last, lastBody = resp, respBody
+			continue // overloaded replica: fail over
+		}
+		relay(w, resp, respBody)
+		return
+	}
+	rt.mExhausted.Inc()
+	if last != nil {
+		relay(w, last, lastBody) // propagate the fleet's 503 + Retry-After
+		return
+	}
+	writeError(w, http.StatusBadGateway, "all replicas unreachable")
+}
+
+// extractKey reads the request far enough to compute the routing key and
+// returns the (possibly re-buffered) body for forwarding.
+func (rt *Router) extractKey(r *http.Request) ([]byte, uint64, error) {
+	var rk routeKey
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+		if err != nil {
+			return nil, 0, fmt.Errorf("read body: %v", err)
+		}
+		if err := json.Unmarshal(body, &rk); err != nil {
+			return nil, 0, fmt.Errorf("bad JSON body: %v", err)
+		}
+		return body, keyOf(rk), nil
+	case http.MethodGet:
+		q := r.URL.Query()
+		for _, s := range strings.Split(q.Get("x"), ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad x component %q", s)
+			}
+			rk.X = append(rk.X, v)
+		}
+		if ts := q.Get("tau"); ts != "" {
+			tau, err := strconv.Atoi(ts)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad tau %q", ts)
+			}
+			rk.Tau = &tau
+		}
+		rk.All = q.Get("all") == "true" || q.Get("all") == "1"
+		return nil, keyOf(rk), nil
+	default:
+		return nil, 0, fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// keyOf maps the decoded routing fields to the affinity key. Full-curve
+// requests and keyless bodies (replicas own validation) use AllTaus.
+func keyOf(rk routeKey) uint64 {
+	tau := AllTaus
+	if !rk.All && rk.Tau != nil {
+		tau = *rk.Tau
+	}
+	return KeyHash(rk.X, tau)
+}
+
+// orderCandidates moves candidates inside a Retry-After cooloff to the back
+// of the attempt order, preserving ring order within each class.
+func (rt *Router) orderCandidates(candidates []string) []string {
+	now := time.Now()
+	rt.coolMu.Lock()
+	defer rt.coolMu.Unlock()
+	hot := make([]string, 0, len(candidates))
+	var cooling []string
+	for _, c := range candidates {
+		if until, ok := rt.cooloff[c]; ok && now.Before(until) {
+			cooling = append(cooling, c)
+			continue
+		}
+		hot = append(hot, c)
+	}
+	return append(hot, cooling...)
+}
+
+// noteRetryAfter honors a replica's Retry-After hint: the replica drops out
+// of the preferred candidate set for the hinted duration (capped at
+// MaxCooloff).
+func (rt *Router) noteRetryAfter(base, header string) {
+	secs, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || secs <= 0 {
+		return
+	}
+	d := time.Duration(secs) * time.Second
+	if d > rt.cfg.MaxCooloff {
+		d = rt.cfg.MaxCooloff
+	}
+	rt.coolMu.Lock()
+	rt.cooloff[base] = time.Now().Add(d)
+	rt.coolMu.Unlock()
+	rt.mCooloffs.Inc()
+}
+
+// forward sends one attempt of the client's request to a replica and reads
+// the full response body (so failover can move on without leaking the
+// connection).
+func (rt *Router) forward(ctx context.Context, base string, r *http.Request, body []byte) (*http.Response, []byte, error) {
+	target := base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, target, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if tid := r.Header.Get("X-Trace-Id"); tid != "" {
+		req.Header.Set("X-Trace-Id", tid) // propagate the client's trace
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, respBody, nil
+}
+
+// relay copies a replica response to the client: trace and retry headers,
+// content type, status, body.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for _, h := range []string{"X-Trace-Id", "Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// handleHealthz reports the router's own state: ok|draining, ring size, and
+// every replica's probed health, plus the current rollout state.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if rt.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"role":       "router",
+		"ring_size":  rt.ring.Len(),
+		"vnodes":     rt.ring.VNodes(),
+		"replicas":   rt.prober.Snapshot(),
+		"rollout":    rt.rollout.Status(),
+		"configured": len(rt.cfg.Replicas),
+	})
+}
+
+// handleMetrics dumps the router's obs registry, JSON by default and
+// Prometheus text when the Accept header asks for it — the same content
+// negotiation the replicas' /metrics speaks.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		rt.reg.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rt.reg.WriteJSON(w)
+}
+
+// rolloutRequest is the POST /admin/rollout body: the model file to roll
+// out and the file to restore onto the canary if the bake verdict is a
+// regression.
+type rolloutRequest struct {
+	Path         string `json:"path"`
+	RollbackPath string `json:"rollback_path"`
+}
+
+// handleRollout starts a rollout (POST) or reports the current/last one
+// (GET). A rollout already in flight answers 409.
+func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, rt.rollout.Status())
+	case http.MethodPost:
+		var req rolloutRequest
+		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+			return
+		}
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, `"path" is required`)
+			return
+		}
+		if err := rt.rollout.Start(req.Path, req.RollbackPath, rt.prober.Healthy); err != nil {
+			code := http.StatusConflict
+			if errors.Is(err, ErrNoReplicas) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, rt.rollout.Status())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// normalizeBase turns a replica flag value into a base URL: scheme
+// defaulting to http, trailing slash stripped.
+func normalizeBase(s string) string {
+	s = strings.TrimSpace(s)
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimSuffix(s, "/")
+}
+
+// sanitizeNode maps a replica base URL into a metric-name fragment:
+// scheme stripped, every non-alphanumeric rune replaced by '_'.
+func sanitizeNode(base string) string {
+	s := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the router's JSON error envelope (the same {"error": …}
+// shape the replicas use).
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

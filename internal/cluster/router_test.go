@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cardnet/internal/obs"
+)
+
+// newTestRouter fronts the given fake replicas with a router whose metrics
+// live in a private registry.
+func newTestRouter(t *testing.T, cfg Config, reps ...*fakeReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, r := range reps {
+		cfg.Replicas = append(cfg.Replicas, r.base())
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return rt, ts
+}
+
+// estimateBody builds a distinct /estimate POST body per index.
+func estimateBody(i int) string {
+	x := make([]string, 8)
+	for b := 0; b < 8; b++ {
+		x[b] = fmt.Sprint((i >> b) & 1)
+	}
+	return fmt.Sprintf(`{"x":[%s],"tau":%d}`, strings.Join(x, ","), i%5)
+}
+
+// postRouter POSTs one estimate and returns status, replica id from the
+// body, and the response X-Trace-Id.
+func postRouter(t *testing.T, url, body string, hdr map[string]string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/estimate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var doc struct {
+		Replica string `json:"replica"`
+	}
+	json.Unmarshal(raw, &doc)
+	return resp.StatusCode, doc.Replica, resp.Header.Get("X-Trace-Id")
+}
+
+// TestRouterAffinity checks cache-affine routing: the same (x, τ) always
+// lands on the same replica, and a spread of keys reaches every replica.
+func TestRouterAffinity(t *testing.T) {
+	reps := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	_, ts := newTestRouter(t, Config{}, reps...)
+
+	owner := map[int]string{}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 60; i++ {
+			code, rep, _ := postRouter(t, ts.URL, estimateBody(i), nil)
+			if code != http.StatusOK {
+				t.Fatalf("status=%d", code)
+			}
+			if prev, ok := owner[i]; ok && prev != rep {
+				t.Fatalf("key %d moved %s -> %s with a stable fleet", i, prev, rep)
+			}
+			owner[i] = rep
+		}
+	}
+	for _, r := range reps {
+		if r.estimateCount() == 0 {
+			t.Errorf("replica %s received no traffic across 60 keys", r.id)
+		}
+	}
+}
+
+// TestRouterGetRoutesLikePost checks both wire forms of the same query
+// produce the same routing decision.
+func TestRouterGetRoutesLikePost(t *testing.T) {
+	reps := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	_, ts := newTestRouter(t, Config{}, reps...)
+	for i := 0; i < 20; i++ {
+		_, postRep, _ := postRouter(t, ts.URL, estimateBody(i), nil)
+		x := make([]string, 8)
+		for b := 0; b < 8; b++ {
+			x[b] = fmt.Sprint((i >> b) & 1)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/estimate?x=%s&tau=%d", ts.URL, strings.Join(x, ","), i%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Replica string `json:"replica"`
+		}
+		json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if doc.Replica != postRep {
+			t.Fatalf("key %d: GET routed to %s, POST to %s", i, doc.Replica, postRep)
+		}
+	}
+}
+
+// TestRouterFailoverOn503 checks the bounded failover path: an overloaded
+// primary answers 503 + Retry-After, the router moves to the next ring node
+// and the client sees 200; the Retry-After hint then keeps the overloaded
+// replica out of the preferred set.
+func TestRouterFailoverOn503(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	reg := obs.NewRegistry()
+	_, ts := newTestRouter(t, Config{Registry: reg}, a, b)
+
+	// Find a key owned by a specific replica, then overload that replica.
+	var body, primary string
+	for i := 0; i < 50; i++ {
+		code, rep, _ := postRouter(t, ts.URL, estimateBody(i), nil)
+		if code != http.StatusOK {
+			t.Fatalf("status=%d", code)
+		}
+		body, primary = estimateBody(i), rep
+		break
+	}
+	over, other := a, b
+	if primary == "b" {
+		over, other = b, a
+	}
+	over.overloaded.Store(true)
+	beforeOther := other.estimateCount()
+
+	code, rep, _ := postRouter(t, ts.URL, body, nil)
+	if code != http.StatusOK || rep != other.id {
+		t.Fatalf("failover: status=%d replica=%s, want 200 via %s", code, rep, other.id)
+	}
+	if reg.Counter("cluster.failovers").Value() == 0 {
+		t.Fatal("failover not counted")
+	}
+	if other.estimateCount() != beforeOther+1 {
+		t.Fatalf("other replica served %d, want %d", other.estimateCount(), beforeOther+1)
+	}
+
+	// Cooloff honored: the next request for the same key skips the
+	// overloaded primary without paying the 503 round trip.
+	overBefore := reg.Counter("cluster.retry_after.cooloffs").Value()
+	if overBefore == 0 {
+		t.Fatal("Retry-After cooloff not recorded")
+	}
+	code, rep, _ = postRouter(t, ts.URL, body, nil)
+	if code != http.StatusOK || rep != other.id {
+		t.Fatalf("cooloff routing: status=%d replica=%s", code, rep)
+	}
+	if got := reg.Counter("cluster.retry_after.cooloffs").Value(); got != overBefore {
+		t.Fatalf("cooloff re-recorded (%d -> %d): primary was retried during cooloff", overBefore, got)
+	}
+}
+
+// TestRouterAllOverloadedPropagates503 checks exhaustion: when every
+// candidate rejects, the client gets the fleet's 503 with its Retry-After
+// rather than a synthetic error.
+func TestRouterAllOverloadedPropagates503(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	_, ts := newTestRouter(t, Config{}, a, b)
+	a.overloaded.Store(true)
+	b.overloaded.Store(true)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/estimate", strings.NewReader(estimateBody(1)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("Retry-After not propagated on fleet-wide overload")
+	}
+}
+
+// TestRouterTraceIDForwarding checks X-Trace-Id flows both ways through the
+// proxy: client -> replica and replica -> client.
+func TestRouterTraceIDForwarding(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	_, ts := newTestRouter(t, Config{}, a)
+	code, _, tid := postRouter(t, ts.URL, estimateBody(3), map[string]string{"X-Trace-Id": "client-trace-7"})
+	if code != http.StatusOK {
+		t.Fatalf("status=%d", code)
+	}
+	if tid != "trace-a" {
+		t.Fatalf("response trace id %q, want the replica's", tid)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.traceIDs) != 1 || a.traceIDs[0] != "client-trace-7" {
+		t.Fatalf("replica saw trace ids %v, want [client-trace-7]", a.traceIDs)
+	}
+}
+
+// TestRouterKillReplicaZeroVisible5xx is the failover acceptance test:
+// killing one of two replicas mid-traffic yields zero client-visible 5xx —
+// connect errors fail over within the retry budget while the prober ejects
+// the corpse.
+func TestRouterKillReplicaZeroVisible5xx(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt, ts := newTestRouter(t, Config{ProbeInterval: 10 * time.Millisecond, EjectAfter: 2}, a, b)
+	rt.Start()
+
+	const calls = 300
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	bad := map[int]int{}
+	clients := 4
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < calls/clients; i++ {
+				n := c*(calls/clients) + i
+				if c == 0 && i == (calls/clients)/3 {
+					b.ts.CloseClientConnections()
+					b.ts.Close() // hard kill mid-traffic
+				}
+				code, _, _ := postRouter(t, ts.URL, estimateBody(n%64), nil)
+				if code >= 500 {
+					mu.Lock()
+					bad[code]++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if len(bad) != 0 {
+		t.Fatalf("client-visible 5xx during replica kill: %v", bad)
+	}
+	// The prober should have ejected the dead replica from the ring.
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Ring().Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead replica never ejected (ring size %d)", rt.Ring().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterHealthzAndMetrics checks the router's own observability
+// endpoints: healthz shape, drain flip, and /metrics content negotiation.
+func TestRouterHealthzAndMetrics(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	rt, ts := newTestRouter(t, Config{}, a)
+	rt.Prober().ProbeOnce(context.Background())
+
+	get := func(path, accept string) (*http.Response, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, string(raw)
+	}
+
+	resp, body := get("/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status=%d", resp.StatusCode)
+	}
+	var hz struct {
+		Status   string          `json:"status"`
+		RingSize int             `json:"ring_size"`
+		Replicas []ReplicaHealth `json:"replicas"`
+		Rollout  RolloutStatus   `json:"rollout"`
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.RingSize != 1 || len(hz.Replicas) != 1 || hz.Rollout.State != RolloutIdle {
+		t.Fatalf("healthz=%s", body)
+	}
+
+	rt.Drain()
+	_, body = get("/healthz", "")
+	if !strings.Contains(body, `"status":"draining"`) {
+		t.Fatalf("draining healthz=%s", body)
+	}
+
+	postRouter(t, ts.URL, estimateBody(1), nil)
+	_, body = get("/metrics", "text/plain")
+	if !strings.Contains(body, "cluster_requests") || !strings.Contains(body, "cluster_ring_size") {
+		t.Fatalf("prometheus metrics missing cluster series:\n%s", body)
+	}
+	resp, body = get("/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "cluster.requests") {
+		t.Fatalf("json metrics missing cluster.requests:\n%s", body)
+	}
+}
+
+// TestRouterRejectsUnroutable checks the router's own 4xx surface.
+func TestRouterRejectsUnroutable(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	_, ts := newTestRouter(t, Config{}, a)
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status=%d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/estimate", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method status=%d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRouterNoReplicasConfigured checks New's validation.
+func TestRouterNoReplicasConfigured(t *testing.T) {
+	if _, err := New(Config{Registry: obs.NewRegistry()}); err != ErrNoReplicas {
+		t.Fatalf("err=%v, want ErrNoReplicas", err)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// JSONSnapshot is one peer's fetched JSON status document (a /healthz or
+// /drift body): the instance label identifying the peer, the decoded
+// top-level object, and the fetch or decode error if the peer was
+// unreachable or answered garbage (Doc is nil in that case).
+type JSONSnapshot struct {
+	Instance string
+	Doc      map[string]any
+	Err      error
+}
+
+// GatherJSON fetches each URL concurrently and decodes a single top-level
+// JSON object per target, returning one JSONSnapshot per URL in input order.
+// It is the status-endpoint sibling of GatherRemote and shares its scrape
+// client: a nil client uses the same 5s-timeout default, so fleet health
+// semantics (timeouts, per-peer error isolation) cannot diverge between the
+// fleetstat table, the cluster health prober, and the rollout controller.
+// Errors are reported per snapshot, never returned.
+func GatherJSON(ctx context.Context, client *http.Client, urls []string) []JSONSnapshot {
+	if client == nil {
+		client = federateClient
+	}
+	snaps := make([]JSONSnapshot, len(urls))
+	var wg sync.WaitGroup
+	wg.Add(len(urls))
+	for i, target := range urls {
+		go func(i int, target string) {
+			defer wg.Done()
+			snaps[i] = JSONSnapshot{Instance: instanceLabel(target)}
+			snaps[i].Doc, snaps[i].Err = FetchJSON(ctx, client, target)
+		}(i, target)
+	}
+	wg.Wait()
+	return snaps
+}
+
+// FetchJSON GETs one URL and decodes its body as a JSON object. A nil client
+// uses the shared 5s-timeout scrape client. Non-200 statuses, oversized
+// bodies (>1 MiB), and malformed JSON are errors.
+func FetchJSON(ctx context.Context, client *http.Client, target string) (map[string]any, error) {
+	if client == nil {
+		client = federateClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		io.CopyN(io.Discard, resp.Body, 4096)
+		return nil, fmt.Errorf("obs: fetch %s: status %d", target, resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: fetch %s: %w", target, err)
+	}
+	return doc, nil
+}
