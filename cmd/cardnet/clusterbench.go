@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"cardnet/internal/cluster"
 	"cardnet/internal/core"
 	"cardnet/internal/obs"
+	"cardnet/internal/obs/tracescan"
 	"cardnet/internal/serving"
 	"cardnet/internal/tensor"
 )
@@ -47,6 +50,36 @@ type clusterBenchSection struct {
 	WorkingSetKeys int          `json:"working_set_keys"`
 	Calls          int          `json:"calls"`
 	Runs           []clusterRun `json:"runs"`
+}
+
+// tracingRateRun is one traced configuration of the tracing-overhead
+// experiment: client latency at a sample rate, plus the tracescan verdict
+// over the logs that run produced (head-based decision propagation means
+// every router-sampled trace must join its replica half at any rate).
+type tracingRateRun struct {
+	Rate             float64      `json:"rate"`
+	On               latencyStats `json:"on"`
+	OverheadP50Pct   float64      `json:"overhead_p50_pct"`
+	OverheadP99Pct   float64      `json:"overhead_p99_pct"`
+	TracesAssembled  int          `json:"traces_assembled"`
+	TracesJoined     int          `json:"traces_joined"`
+	TilingViolations int          `json:"tiling_violations"`
+	SamplerDropped   uint64       `json:"sampler_dropped"`
+}
+
+// clusterTracingSection prices the distributed-tracing pipeline through the
+// router: identical 2-replica fleets driven with tracing off, at the
+// operational default sample rate, and at the full incident rate (1.0),
+// in rotating rounds so machine drift averages out. Stage marks and
+// exemplar capture are paid either way; the delta is the sampling decision
+// plus trace emission on three processes (emission is asynchronous, so on a
+// multi-core host the visible delta is smaller still). Each traced run's
+// logs are then assembled with tracescan inside the bench, so the section
+// also vouches that every router-sampled request joined and tiled.
+type clusterTracingSection struct {
+	Replicas int              `json:"replicas"`
+	Off      latencyStats     `json:"tracing_off"`
+	Runs     []tracingRateRun `json:"runs"`
 }
 
 // failoverBenchSection records the mid-bench replica-kill experiment: a
@@ -141,15 +174,37 @@ func estimateBodyJSON(x []float64, tau int) []byte {
 // benchFleet is the in-process stand-in for N `cardnet serve` replicas plus
 // a router: real handler trees, real engines, real proxying.
 type benchFleet struct {
-	rt       *cluster.Router
-	front    *httptest.Server
-	replicas []*httptest.Server
-	engines  []*serving.Engine
-	reg      *obs.Registry
+	rt         *cluster.Router
+	front      *httptest.Server
+	replicas   []*httptest.Server
+	engines    []*serving.Engine
+	reg        *obs.Registry
+	samplers   []*obs.TraceSampler
+	sinks      []*obs.Sink
+	tracePaths []string
+	closed     bool
 }
 
-func newBenchFleet(m *core.Model, n, cacheEntries int, probe time.Duration, ejectAfter int) (*benchFleet, error) {
+// newBenchFleet builds an n-replica fleet behind a router. A non-empty
+// traceDir turns on the tracing pipeline at the given sample rate: one
+// JSONL sink per replica plus one for the router.
+func newBenchFleet(m *core.Model, n, cacheEntries int, probe time.Duration, ejectAfter int, traceDir string, traceRate float64) (*benchFleet, error) {
 	f := &benchFleet{reg: obs.NewRegistry()}
+	sampler := func(name string) (*obs.TraceSampler, error) {
+		if traceDir == "" {
+			return nil, nil
+		}
+		path := filepath.Join(traceDir, name)
+		sink, err := obs.NewFileSink(path)
+		if err != nil {
+			return nil, err
+		}
+		f.sinks = append(f.sinks, sink)
+		f.tracePaths = append(f.tracePaths, path)
+		sp := obs.NewTraceSampler(traceRate, sink)
+		f.samplers = append(f.samplers, sp)
+		return sp, nil
+	}
 	bases := make([]string, n)
 	for i := 0; i < n; i++ {
 		eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{
@@ -159,15 +214,26 @@ func newBenchFleet(m *core.Model, n, cacheEntries int, probe time.Duration, ejec
 			CacheEntries: cacheEntries,
 		})
 		f.engines = append(f.engines, eng)
-		ts := httptest.NewServer(newServeMux(eng, serveOptions{}))
+		sp, err := sampler(fmt.Sprintf("replica-%d.trace.jsonl", i))
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		ts := httptest.NewServer(newServeMux(eng, serveOptions{sampler: sp}))
 		f.replicas = append(f.replicas, ts)
 		bases[i] = ts.URL
+	}
+	routerSampler, err := sampler("router.trace.jsonl")
+	if err != nil {
+		f.close()
+		return nil, err
 	}
 	rt, err := cluster.New(cluster.Config{
 		Replicas:      bases,
 		Registry:      f.reg,
 		ProbeInterval: probe,
 		EjectAfter:    ejectAfter,
+		Sampler:       routerSampler,
 	})
 	if err != nil {
 		f.close()
@@ -179,6 +245,10 @@ func newBenchFleet(m *core.Model, n, cacheEntries int, probe time.Duration, ejec
 }
 
 func (f *benchFleet) close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
 	if f.front != nil {
 		f.front.Close()
 	}
@@ -191,6 +261,13 @@ func (f *benchFleet) close() {
 	for _, eng := range f.engines {
 		eng.Close()
 	}
+	for _, sp := range f.samplers {
+		sp.Close() // drain queued traces before the sinks close
+	}
+	for _, s := range f.sinks {
+		s.Close()
+	}
+	f.samplers, f.sinks = nil, nil
 }
 
 // runClusterBench measures aggregate throughput through the router at 1, 2,
@@ -220,7 +297,7 @@ func runClusterBench(m *core.Model, testX *tensor.Matrix) (*clusterBenchSection,
 	}
 	client := benchClient()
 	for _, n := range []int{1, 2, 4} {
-		f, err := newBenchFleet(m, n, cacheEntries, 0, 0)
+		f, err := newBenchFleet(m, n, cacheEntries, 0, 0, "", 0)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -242,7 +319,7 @@ func runClusterBench(m *core.Model, testX *tensor.Matrix) (*clusterBenchSection,
 
 	// Failover: 2 replicas, aggressive probing, one replica hard-killed a
 	// third of the way in.
-	f, err := newBenchFleet(m, 2, cacheEntries, 20*time.Millisecond, 2)
+	f, err := newBenchFleet(m, 2, cacheEntries, 20*time.Millisecond, 2, "", 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -262,6 +339,128 @@ func runClusterBench(m *core.Model, testX *tensor.Matrix) (*clusterBenchSection,
 		Ejected:   f.rt.Ring().Len() == 1,
 	}
 	return sec, fo, nil
+}
+
+// runTracingOverheadBench measures what cluster-wide tracing costs the
+// client: sequential request latency through three otherwise-identical
+// 2-replica fleets — tracing off, the operational default sample rate
+// (0.01), and the full incident rate (1.0) — interleaved in rotating
+// rounds so machine drift is charged to every configuration equally.
+// Each traced run's logs are then assembled with tracescan, so the section
+// also vouches that router-sampled requests joined and tiled at both rates.
+func runTracingOverheadBench(m *core.Model, testX *tensor.Matrix, calls int) (*clusterTracingSection, error) {
+	const cacheEntries = 1024
+	tauMax := m.Cfg.TauMax
+	keys := cacheEntries / 2 // working set fits every cache: steady-state latency
+	if max := testX.Rows * (tauMax + 1); keys > max {
+		keys = max
+	}
+	bodies := make([][]byte, keys)
+	for i := range bodies {
+		bodies[i] = estimateBodyJSON(testX.Row(i%testX.Rows), (i/testX.Rows)%(tauMax+1))
+	}
+
+	off, err := newBenchFleet(m, 2, cacheEntries, 0, 0, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	defer off.close()
+
+	type tracedRun struct {
+		rate  float64
+		fleet *benchFleet
+		lats  []float64
+	}
+	traced := make([]*tracedRun, 0, 2)
+	for _, rate := range []float64{0.01, 1.0} {
+		dir, err := os.MkdirTemp("", "cardnet-tracebench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		f, err := newBenchFleet(m, 2, cacheEntries, 0, 0, dir, rate)
+		if err != nil {
+			return nil, err
+		}
+		defer f.close()
+		traced = append(traced, &tracedRun{rate: rate, fleet: f})
+	}
+
+	client := benchClient()
+	drive := func(f *benchFleet, start, n int) ([]float64, error) {
+		lats := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			resp, err := client.Post(f.front.URL+"/estimate", "application/json", bytes.NewReader(bodies[(start+i)%len(bodies)]))
+			if err != nil {
+				return nil, err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("tracing bench: status %d", resp.StatusCode)
+			}
+			lats = append(lats, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+		return lats, nil
+	}
+
+	fleets := []*benchFleet{off, traced[0].fleet, traced[1].fleet}
+	var offLats []float64
+	sinks := []*[]float64{&offLats, &traced[0].lats, &traced[1].lats}
+
+	// Warm pass on each fleet populates caches and HTTP connection pools.
+	for _, f := range fleets {
+		if _, err := drive(f, 0, keys); err != nil {
+			return nil, err
+		}
+	}
+
+	// Interleave per request, rotating which fleet goes first: a GC pause or
+	// scheduler blip lands on whichever request happens to be in flight, so
+	// machine noise spreads uniformly across the three configurations instead
+	// of being charged to whichever fleet owned that time slice — which is
+	// what dominates tail percentiles on a small host.
+	for i := 0; i < calls; i++ {
+		for k := range fleets {
+			j := (i + k) % len(fleets)
+			l, err := drive(fleets[j], i, 1)
+			if err != nil {
+				return nil, err
+			}
+			*sinks[j] = append(*sinks[j], l...)
+		}
+	}
+
+	sec := &clusterTracingSection{Replicas: 2, Off: summarize(offLats)}
+	for _, tc := range traced {
+		// Drops only happen on the request path (Emit), so the counter is
+		// final once driving stops; read it before close nils the samplers.
+		var dropped uint64
+		for _, sp := range tc.fleet.samplers {
+			dropped += sp.Dropped()
+		}
+		// Flush this fleet's sinks, then hold the bench to the tentpole's
+		// own standard: every router-sampled request assembles and tiles.
+		paths := append([]string(nil), tc.fleet.tracePaths...)
+		tc.fleet.close()
+		events, err := tracescan.LoadFiles(paths)
+		if err != nil {
+			return nil, err
+		}
+		rep := tracescan.BuildReport(events, 5000, 5)
+		run := tracingRateRun{
+			Rate:             tc.rate,
+			On:               summarize(tc.lats),
+			TracesAssembled:  rep.Traces,
+			TracesJoined:     rep.Joined,
+			TilingViolations: rep.TilingViolations,
+			SamplerDropped:   dropped,
+		}
+		run.OverheadP50Pct = overheadPct(run.On.P50Micros, sec.Off.P50Micros)
+		run.OverheadP99Pct = overheadPct(run.On.P99Micros, sec.Off.P99Micros)
+		sec.Runs = append(sec.Runs, run)
+	}
+	return sec, nil
 }
 
 // driveFleet pushes calls requests through the fleet's router from 4

@@ -11,6 +11,7 @@
 //	cardnet -mode update -dataset HM-ImageNet -model model.gob
 //	cardnet -mode serve -model model.gob -addr :8089
 //	cardnet -mode router -addr :8088 -replicas http://127.0.0.1:8089,http://127.0.0.1:8090
+//	cardnet -mode tracescan -scan-top 10 router.trace.jsonl replica1.trace.jsonl replica2.trace.jsonl
 //	cardnet -mode obsbench -dataset HM-ImageNet -benchout results/BENCH_obs.json
 //	cardnet -mode servebench -dataset HM-ImageNet -benchout results/BENCH_serving.json
 //	cardnet -mode trainbench -dataset HM-ImageNet -benchout results/BENCH_train.json
@@ -31,7 +32,13 @@
 // cache-affine consistent-hash routing on (hash(x), τ), health probing with
 // ejection, bounded failover on 503/connect errors, graceful drain, and
 // canary model rollout via POST /admin/rollout (tune with -replicas/-vnodes/
-// -probe-interval/-eject-after/-failover-retries/-rollout-*). Obsbench
+// -probe-interval/-eject-after/-failover-retries/-rollout-*). The router
+// propagates a fleet-wide trace ID to its replicas (X-Trace-Id, with the
+// attempt span in X-Trace-Parent) and samples its own tiled stage traces
+// (-trace-sample-rate/-tracelog, same flags as serve); tracescan joins the
+// router's and replicas' trace JSONL files into end-to-end cross-process
+// traces and reports critical-path attribution, retry amplification, and the
+// slowest traces (tune with -scan-top/-scan-skew/-scan-json). Obsbench
 // records estimate-path latency
 // with instrumentation on vs. off; servebench records batched vs per-request
 // throughput and the estimate cache's effect (and with -cluster, router
@@ -75,7 +82,7 @@ var (
 
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update | serve | router | fleetstat | obsbench | servebench | trainbench")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | router | tracescan | fleetstat | obsbench | servebench | trainbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
 	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
@@ -92,8 +99,8 @@ func main() {
 	workers := flag.Int("workers", 0, "train/update: data-parallel training shards (0 = all CPUs); serve: batch workers (0 = half the CPUs)")
 	benchEpochs := flag.Int("benchepochs", 8, "trainbench: training epochs per worker configuration")
 	cacheEntries := flag.Int("cache", 4096, "serve: estimate cache entries (negative disables)")
-	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve: fraction of requests whose traces are written to -tracelog")
-	traceLog := flag.String("tracelog", "off", `serve: JSONL request-trace log path ("off" = disabled)`)
+	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve/router: fraction of requests whose traces are written to -tracelog")
+	traceLog := flag.String("tracelog", "off", `serve/router: JSONL request-trace log path ("off" = disabled)`)
 	auditRate := flag.Float64("audit-sample-rate", 0, "serve: fraction of estimates replayed against the exact oracle (Hamming datasets only; 0 = off)")
 	resume := flag.Bool("resume", false, "train/update: continue from the newest checkpoint in -ckpt-dir (same dataset flags required)")
 	ckptDir := flag.String("ckpt-dir", "", `train/update: checkpoint directory ("" = <model>.ckpt, "off" = disable checkpointing)`)
@@ -124,6 +131,9 @@ func main() {
 	rolloutMinSamples := flag.Int("rollout-min-samples", 20, "router: q-error samples the canary window needs before its EWMA is trusted")
 	rolloutJournal := flag.String("rollout-journal", "off", `router: JSONL rollout-decision journal path ("off" = disabled)`)
 	clusterBench := flag.Bool("cluster", false, "servebench: also measure router scaling (1/2/4 replicas) and mid-bench failover")
+	scanTop := flag.Int("scan-top", 10, "tracescan: slow-trace table size")
+	scanSkew := flag.Duration("scan-skew", 5*time.Millisecond, "tracescan: clock-skew tolerance for the cross-process tiling check")
+	scanJSON := flag.String("scan-json", "", `tracescan: machine-readable report path ("" = text only, "-" = JSON to stdout)`)
 	flag.Parse()
 
 	// Identity metrics: which build is this, and when did it start. The info
@@ -285,12 +295,14 @@ func main() {
 			if err != nil {
 				log.Fatalf("open trace log: %v", err)
 			}
+			opts.sampler = obs.NewTraceSampler(*traceRate, sink)
+			sampler := opts.sampler
 			closeTraces = func() {
+				sampler.Close() // drain queued traces before the sink goes away
 				if err := sink.Close(); err != nil {
 					log.Printf("close trace log: %v", err)
 				}
 			}
-			opts.sampler = obs.NewTraceSampler(*traceRate, sink)
 			log.Printf("writing sampled request traces to %s", *traceLog)
 		}
 		if *auditRate > 0 {
@@ -331,9 +343,21 @@ func main() {
 			maxRegression:   *rolloutMaxRegression,
 			rolloutMinSamps: *rolloutMinSamples,
 			journalPath:     *rolloutJournal,
+			traceRate:       *traceRate,
+			traceLog:        *traceLog,
 		})
 		if err != nil {
 			log.Fatalf("router: %v", err)
+		}
+	case "tracescan":
+		err := runTracescan(os.Stdout, tracescanSettings{
+			files:    flag.Args(),
+			topN:     *scanTop,
+			skew:     *scanSkew,
+			jsonPath: *scanJSON,
+		})
+		if err != nil {
+			log.Fatalf("tracescan: %v", err)
 		}
 	case "fleetstat":
 		if err := runFleetstat(os.Stdout, splitPeers(*peersFlag), *fleetInterval, nil); err != nil {
@@ -390,6 +414,11 @@ func main() {
 				log.Fatalf("servebench -cluster: %v", err)
 			}
 			rep.Cluster, rep.Failover = cl, fo
+			ct, err := runTracingOverheadBench(m, b.TestX, *benchCalls)
+			if err != nil {
+				log.Fatalf("servebench -cluster tracing: %v", err)
+			}
+			rep.ClusterTracing = ct
 		}
 		if err := rep.write(out); err != nil {
 			log.Fatalf("servebench: %v", err)
@@ -419,6 +448,14 @@ func main() {
 			log.Printf("failover: killed 1 of %d replicas mid-bench: %d client 5xx over %d calls, %d failovers, ejected=%v",
 				rep.Failover.Replicas, rep.Failover.Client5xx, rep.Failover.Calls,
 				rep.Failover.Failovers, rep.Failover.Ejected)
+		}
+		if ct := rep.ClusterTracing; ct != nil {
+			for _, run := range ct.Runs {
+				log.Printf("cluster tracing rate %.2f: p50 %+.2f%% p99 %+.2f%% (off %.0fus, on %.0fus); %d traces assembled, %d joined, %d tiling violations, %d dropped",
+					run.Rate, run.OverheadP50Pct, run.OverheadP99Pct,
+					ct.Off.P50Micros, run.On.P50Micros,
+					run.TracesAssembled, run.TracesJoined, run.TilingViolations, run.SamplerDropped)
+			}
 		}
 	case "trainbench":
 		b := buildBundle()

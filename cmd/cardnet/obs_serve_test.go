@@ -373,7 +373,8 @@ func TestTraceSamplingWritesJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := serving.NewEngine(serving.NewRegistry(m), serving.Config{MaxBatch: 2, MaxWait: time.Millisecond})
-	ts := httptest.NewServer(newServeMux(eng, serveOptions{sampler: obs.NewTraceSampler(1, sink)}))
+	sampler := obs.NewTraceSampler(1, sink)
+	ts := httptest.NewServer(newServeMux(eng, serveOptions{sampler: sampler}))
 	t.Cleanup(func() { ts.Close(); eng.Close() })
 
 	xCSV := strings.Join(binXStrings(m), ",")
@@ -386,6 +387,9 @@ func TestTraceSamplingWritesJSONL(t *testing.T) {
 		}
 		resp.Body.Close()
 		ids[resp.Header.Get("X-Trace-Id")] = true
+	}
+	if err := sampler.Close(); err != nil { // drain the async queue first
+		t.Fatal(err)
 	}
 	if err := sink.Close(); err != nil {
 		t.Fatal(err)

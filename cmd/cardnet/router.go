@@ -31,6 +31,8 @@ type routerSettings struct {
 	maxRegression   float64
 	journalPath     string // "off" disables the rollout journal
 	rolloutMinSamps int
+	traceRate       float64
+	traceLog        string // "off" disables sampled request traces
 }
 
 // runRouter blocks fronting the replica fleet on addr until SIGINT/SIGTERM,
@@ -57,12 +59,29 @@ func runRouter(addr string, rs routerSettings) error {
 		log.Printf("journaling rollout decisions to %s", rs.journalPath)
 	}
 
+	var sampler *obs.TraceSampler
+	if rs.traceLog != "" && rs.traceLog != "off" {
+		sink, err := obs.NewFileSink(rs.traceLog)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				log.Printf("close trace log: %v", err)
+			}
+		}()
+		sampler = obs.NewTraceSampler(rs.traceRate, sink)
+		defer sampler.Close() // LIFO: drains the queue before the sink close above
+		log.Printf("writing sampled request traces to %s (rate %g); join replica trace logs with `cardnet -mode tracescan`", rs.traceLog, rs.traceRate)
+	}
+
 	rt, err := cluster.New(cluster.Config{
 		Replicas:      replicas,
 		VNodes:        rs.vnodes,
 		Retries:       rs.retries,
 		ProbeInterval: rs.probeInterval,
 		EjectAfter:    rs.ejectAfter,
+		Sampler:       sampler,
 		Rollout: cluster.RolloutConfig{
 			Bake:          rs.bake,
 			MaxRegression: rs.maxRegression,

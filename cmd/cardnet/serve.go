@@ -223,14 +223,27 @@ type estimateResponse struct {
 func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Every response carries the trace ID, sampled or not, so an operator
-		// can correlate a slow client-side call with the JSONL trace log.
+		// can correlate a slow client-side call with the JSONL trace log. When
+		// a router fronts this replica, its fleet trace ID is adopted and its
+		// attempt span recorded as this trace's parent — the join keys
+		// `cardnet tracescan` assembles cross-process traces on.
 		mEstimateRequests.Inc()
-		tr := obs.NewTrace()
-		w.Header().Set("X-Trace-Id", tr.ID)
+		tr := obs.NewTraceWith(r.Header.Get(obs.TraceHeader))
+		tr.Annotate("role", "replica")
+		if parent := r.Header.Get(obs.TraceParentHeader); parent != "" {
+			tr.Annotate("parent", parent)
+		}
+		// A router that sampled this request says so; honor its decision
+		// (head-based sampling) so both halves of the trace are emitted and
+		// joinable. Direct traffic falls back to this replica's own counter.
+		forced := sampler != nil && r.Header.Get(obs.TraceSampledHeader) == "1"
+		w.Header().Set(obs.TraceHeader, tr.ID)
 		finish := func() {
 			mStageWrite.ObserveDuration(tr.Mark(serving.StageWrite))
-			mE2E.ObserveDuration(tr.Total())
-			if sampler.Sample() {
+			// The e2e exemplar ties each latency bucket to its latest trace,
+			// so a /metrics scrape (or SLO page) resolves to a concrete trace.
+			mE2E.ObserveExemplarDuration(tr.Total(), tr.ID)
+			if forced || sampler.Sample() {
 				mTraceSampled.Inc()
 				sampler.Emit(tr)
 			}
@@ -567,15 +580,24 @@ func handleFederate(peers []string) http.HandlerFunc {
 
 // handleMetrics dumps the obs default registry: expvar-style JSON by
 // default, Prometheus text exposition format 0.0.4 when the Accept header
-// asks for text/plain or OpenMetrics (so a stock Prometheus scraper works
-// against the same endpoint with no config beyond the target).
+// asks for text/plain (so a stock Prometheus scraper works against the same
+// endpoint with no config beyond the target), and OpenMetrics — with
+// trace-ID exemplars on the latency histograms — when it asks for
+// application/openmetrics-text.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
-		strings.Contains(accept, "openmetrics") {
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		if err := obs.Default.WriteOpenMetrics(w); err != nil {
+			httpErrors.Inc()
+		}
+		return
+	}
+	if strings.Contains(accept, "text/plain") {
 		w.Header().Set("Content-Type", obs.PromContentType)
 		if err := obs.Default.WritePrometheus(w); err != nil {
 			httpErrors.Inc()

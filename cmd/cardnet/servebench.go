@@ -68,10 +68,12 @@ type serveBenchReport struct {
 	Tracing traceBench   `json:"tracing"`
 	// Admission records what overloaded clients see (503 + Retry-After).
 	Admission *admissionBench `json:"admission,omitempty"`
-	// Cluster and Failover are the -cluster router experiments: scaling
-	// efficiency over 1/2/4 replicas and the mid-bench replica kill.
-	Cluster  *clusterBenchSection  `json:"cluster,omitempty"`
-	Failover *failoverBenchSection `json:"failover,omitempty"`
+	// Cluster, Failover, and ClusterTracing are the -cluster router
+	// experiments: scaling efficiency over 1/2/4 replicas, the mid-bench
+	// replica kill, and the distributed-tracing overhead comparison.
+	Cluster        *clusterBenchSection   `json:"cluster,omitempty"`
+	Failover       *failoverBenchSection  `json:"failover,omitempty"`
+	ClusterTracing *clusterTracingSection `json:"cluster_tracing,omitempty"`
 }
 
 // runServeBench measures the three levers of the serving subsystem: the

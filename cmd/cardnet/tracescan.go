@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cardnet/internal/obs/tracescan"
+)
+
+// tracescanSettings carries the -mode tracescan flag values into
+// runTracescan.
+type tracescanSettings struct {
+	files    []string      // trace JSONL paths (router + replicas)
+	topN     int           // slow-trace table size
+	skew     time.Duration // clock-skew tolerance for the tiling check
+	jsonPath string        // "" = text only, "-" = JSON to stdout
+}
+
+// runTracescan loads sampled trace logs from a fleet, assembles them into
+// cross-process traces, and writes the human report to w (plus the
+// machine-readable JSON when requested). It fails when any assembled trace
+// violates the tiling invariant, so a cron'd scan doubles as a fleet
+// consistency check.
+func runTracescan(w io.Writer, ts tracescanSettings) error {
+	if len(ts.files) == 0 {
+		return fmt.Errorf("tracescan needs trace JSONL files as arguments (router and replica -tracelog outputs)")
+	}
+	events, err := tracescan.LoadFiles(ts.files)
+	if err != nil {
+		return err
+	}
+	rep := tracescan.BuildReport(events, float64(ts.skew.Nanoseconds())/1e3, ts.topN)
+
+	switch ts.jsonPath {
+	case "":
+	case "-":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	default:
+		doc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ts.jsonPath, append(doc, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	if ts.jsonPath != "-" {
+		rep.WriteText(w)
+	}
+	if rep.TilingViolations > 0 {
+		return fmt.Errorf("tracescan: %d trace(s) violate the tiling invariant (max stage-sum error %.3fus, max skew %.3fus beyond the %s tolerance)",
+			rep.TilingViolations, rep.MaxTilingErrUs, rep.MaxSkewUs, ts.skew)
+	}
+	return nil
+}

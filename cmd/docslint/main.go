@@ -1,16 +1,24 @@
 // Command docslint enforces the repo's documentation contracts. It is run by
-// `make docs-lint` (part of `make ci`) and checks two things:
+// `make docs-lint` (part of `make ci`) and checks three things:
 //
 //  1. Every exported top-level identifier (types, funcs, methods, consts,
 //     vars) in the operations-facing packages — internal/checkpoint,
 //     internal/serving, internal/obs, and the obs subpackages (monitor,
-//     runtimeobs, slo, profcap) — carries a doc comment, and every package
-//     has package documentation.
+//     runtimeobs, slo, profcap, tracescan) — carries a doc comment, and
+//     every package has package documentation.
 //
 //  2. The flag reference in docs/RUNBOOK.md matches cmd/cardnet: every flag
 //     defined in the command appears (as `-name`) in the RUNBOOK's
 //     "## Flag reference" section, and every flag the section mentions is
 //     actually defined — stale runbooks fail the build in both directions.
+//
+//  3. The metrics reference in docs/RUNBOOK.md matches the code: every
+//     metric registered with a literal name (reg.Counter("x.y") and the
+//     Gauge/Histogram equivalents, anywhere under internal/ or cmd/cardnet)
+//     appears in the RUNBOOK's "## Metrics reference" section, and every
+//     dotted name that section mentions is registered somewhere. Families
+//     with computed names (per-replica, per-stage, per-objective series)
+//     are documented with <placeholder> segments, which the lint skips.
 //
 // Exit status is non-zero with one line per violation. No dependencies
 // beyond the standard library (go/ast, go/parser).
@@ -39,12 +47,14 @@ var docPackages = []string{
 	"internal/obs/runtimeobs",
 	"internal/obs/slo",
 	"internal/obs/profcap",
+	"internal/obs/tracescan",
 }
 
 const (
-	cmdDir      = "cmd/cardnet"
-	runbookPath = "docs/RUNBOOK.md"
-	flagSection = "## Flag reference"
+	cmdDir         = "cmd/cardnet"
+	runbookPath    = "docs/RUNBOOK.md"
+	flagSection    = "## Flag reference"
+	metricsSection = "## Metrics reference"
 )
 
 func main() {
@@ -62,6 +72,12 @@ func main() {
 		problems = append(problems, p...)
 	}
 	p, err := checkRunbookFlags(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, p...)
+	p, err = checkRunbookMetrics(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
 		os.Exit(2)
@@ -224,6 +240,139 @@ func definedFlags(dir string) (map[string]bool, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no flag definitions found in %s", dir)
+	}
+	return out, nil
+}
+
+// metricDefRe matches metric registrations with literal names:
+// reg.Counter("a.b"), reg.Gauge("a.b"), reg.Histogram("a.b", bounds).
+// Computed names (string concatenation, helper calls) deliberately do not
+// match — those families are documented with <placeholder> segments, which
+// runbookMetricRe in turn does not match.
+var metricDefRe = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\(\s*"([a-z0-9._]+)"\s*[,)]`)
+
+// runbookMetricRe matches backticked dotted metric names like
+// `cluster.proxy.seconds` in the RUNBOOK's metrics-reference section.
+var runbookMetricRe = regexp.MustCompile("`([a-z0-9]+(?:\\.[a-z0-9_]+)+)`")
+
+// metricConstRe matches exported dotted string constants, e.g.
+// const E2EHistogram = "serving.e2e.seconds". Registrations may name a
+// metric through such a constant instead of an inline literal.
+var metricConstRe = regexp.MustCompile(`\b([A-Z][A-Za-z0-9]*)\s*=\s*"([a-z0-9]+(?:\.[a-z0-9_]+)+)"`)
+
+// metricIdentRe matches registrations through an exported identifier:
+// reg.Histogram(serving.E2EHistogram, ...).
+var metricIdentRe = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\(\s*(?:[a-z][A-Za-z0-9]*\.)?([A-Z][A-Za-z0-9]*)\s*[,)]`)
+
+// metricScanDirs are the source trees scanned for metric registrations.
+var metricScanDirs = []string{"internal", cmdDir}
+
+// checkRunbookMetrics cross-checks literal metric registrations against the
+// RUNBOOK's metrics-reference section, in both directions.
+func checkRunbookMetrics(root string) ([]string, error) {
+	defined, err := definedMetrics(root)
+	if err != nil {
+		return nil, err
+	}
+	documented, err := runbookMetrics(filepath.Join(root, runbookPath))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for name, file := range defined {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf("%s: metric %s (registered in %s) is missing from the %q section", runbookPath, name, file, metricsSection))
+		}
+	}
+	for name := range documented {
+		if _, ok := defined[name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: metric %s is documented but not registered anywhere under %s", runbookPath, name, strings.Join(metricScanDirs, " or ")))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// definedMetrics walks the scan dirs for metric registrations, mapping each
+// name to one file that registers it. It resolves both inline literals
+// (reg.Counter("a.b")) and registrations through exported dotted string
+// constants (reg.Histogram(serving.E2EHistogram, ...)).
+func definedMetrics(root string) (map[string]string, error) {
+	out := map[string]string{}
+	consts := map[string]string{}   // exported const ident -> dotted value
+	idents := map[string][]string{} // registration ident -> files using it
+	for _, dir := range metricScanDirs {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			for _, line := range strings.Split(string(src), "\n") {
+				// Skip comment lines: doc comments quote example
+				// registrations that are not real metrics.
+				if strings.HasPrefix(strings.TrimSpace(line), "//") {
+					continue
+				}
+				for _, m := range metricDefRe.FindAllStringSubmatch(line, -1) {
+					if _, seen := out[m[1]]; !seen {
+						out[m[1]] = rel
+					}
+				}
+				for _, m := range metricConstRe.FindAllStringSubmatch(line, -1) {
+					consts[m[1]] = m[2]
+				}
+				for _, m := range metricIdentRe.FindAllStringSubmatch(line, -1) {
+					idents[m[1]] = append(idents[m[1]], rel)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ident, files := range idents {
+		name, ok := consts[ident]
+		if !ok {
+			continue // not a string constant we can resolve (e.g. a variable)
+		}
+		if _, seen := out[name]; !seen {
+			out[name] = files[0]
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no literal metric registrations found under %s", strings.Join(metricScanDirs, ", "))
+	}
+	return out, nil
+}
+
+// runbookMetrics extracts the backticked dotted metric names from the
+// RUNBOOK's "## Metrics reference" section.
+func runbookMetrics(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read %s (the ops runbook must exist): %w", path, err)
+	}
+	_, rest, found := strings.Cut(string(raw), metricsSection)
+	if !found {
+		return nil, fmt.Errorf("%s has no %q section", path, metricsSection)
+	}
+	if i := strings.Index(rest, "\n## "); i >= 0 {
+		rest = rest[:i]
+	}
+	out := map[string]bool{}
+	for _, m := range runbookMetricRe.FindAllStringSubmatch(rest, -1) {
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: %q section documents no metrics", path, metricsSection)
 	}
 	return out, nil
 }

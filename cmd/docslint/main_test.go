@@ -98,6 +98,37 @@ var (
 	}
 }
 
+func TestCheckRunbookMetrics(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "internal", "pkg", "m.go"), `package pkg
+
+// E2EName is registered elsewhere through the constant.
+const E2EName = "pkg.e2e.seconds"
+
+// Comments quoting reg.Counter("not.a.metric") are ignored.
+var (
+	a = reg.Counter("pkg.requests")
+	b = reg.Histogram("pkg.lat.seconds", bounds)
+	c = reg.Gauge("pkg." + node + ".depth") // computed: exempt
+	d = reg.Histogram(E2EName, bounds)
+)
+`)
+	write(t, filepath.Join(root, cmdDir, "main.go"), "package main\n")
+	write(t, filepath.Join(root, runbookPath), "# Runbook\n\nProse mentions `other.metric` freely.\n\n"+
+		metricsSection+"\n\n| `pkg.requests` | counter |\n| `pkg.e2e.seconds` | histogram |\n| `pkg.ghost` | gone |\n\nFamilies like `pkg.<node>.depth` are exempt.\n\n## Next section\n\n`not.counted`\n")
+	problems, err := checkRunbookMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), joined)
+	}
+	if !strings.Contains(joined, "pkg.lat.seconds") || !strings.Contains(joined, "pkg.ghost") {
+		t.Fatalf("wrong problems:\n%s", joined)
+	}
+}
+
 // TestRepoIsClean runs the real checks against this repository — the same
 // gate as `make docs-lint`.
 func TestRepoIsClean(t *testing.T) {
@@ -112,6 +143,13 @@ func TestRepoIsClean(t *testing.T) {
 		}
 	}
 	problems, err := checkRunbookFlags(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+	problems, err = checkRunbookMetrics(root)
 	if err != nil {
 		t.Fatal(err)
 	}

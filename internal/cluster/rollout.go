@@ -68,6 +68,7 @@ type RolloutStatus struct {
 	FleetQError   float64  `json:"fleet_qerror"`
 	CanarySamples int      `json:"canary_samples"`
 	Error         string   `json:"error,omitempty"`
+	TraceID       string   `json:"trace_id,omitempty"`
 }
 
 // Rollout coordinates rolling model swaps across the fleet: canary one
@@ -159,6 +160,7 @@ func (ro *Rollout) Start(path, rollbackPath string, healthy func() []string) err
 		Path:         path,
 		RollbackPath: rollbackPath,
 		Canary:       replicas[0],
+		TraceID:      obs.NewTraceID(),
 	}
 	ro.mu.Unlock()
 	ro.mStarted.Inc()
@@ -388,10 +390,23 @@ func (ro *Rollout) setState(state, errMsg string) {
 }
 
 // journal appends one decision line to the JSONL journal, counting (not
-// propagating) write failures: a full disk must not wedge a rollout.
+// propagating) write failures: a full disk must not wedge a rollout. Every
+// line carries the rollout's trace ID so the decision sequence of one
+// rollout greps/joins as a unit alongside request traces.
 func (ro *Rollout) journal(event string, fields map[string]any) {
 	if ro.cfg.Journal == nil {
 		return
+	}
+	ro.mu.Lock()
+	tid := ro.status.TraceID
+	ro.mu.Unlock()
+	if tid != "" {
+		withTrace := make(map[string]any, len(fields)+1)
+		for k, v := range fields {
+			withTrace[k] = v
+		}
+		withTrace["trace_id"] = tid
+		fields = withTrace
 	}
 	if err := ro.cfg.Journal.Emit(event, fields); err != nil {
 		ro.mJournalErr.Inc()

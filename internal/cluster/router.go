@@ -43,9 +43,33 @@ type Config struct {
 	Client *http.Client
 	// Registry receives router metrics (nil uses obs.Default).
 	Registry *obs.Registry
+	// Sampler, when set, emits the router's tiled request traces to a JSONL
+	// sink (stage marks and histograms are always on; sampling only gates
+	// emission, mirroring the replicas' -trace-sample-rate contract).
+	Sampler *obs.TraceSampler
 	// Rollout tunes the model-rollout controller.
 	Rollout RolloutConfig
 }
+
+// Router trace stages, in pipeline order. route (read body, compute the
+// affinity key) and pick (ring lookup + cooloff ordering) are the router's
+// own overhead; each failed forward closes an attempt.N stage; the forward
+// that produced the relayed response closes proxy; relay is the response
+// write. Marks tile the request interval, so the per-stage histograms sum to
+// cluster.proxy.seconds by construction — the serve-pipeline invariant from
+// the replica side, extended across the hop.
+const (
+	StageRoute   = "route"
+	StagePick    = "pick"
+	StageAttempt = "attempt" // traced as attempt.N, observed into one histogram
+	StageProxy   = "proxy"
+	StageRelay   = "relay"
+)
+
+// StageHistName maps a router trace stage to its latency histogram
+// ("cluster.stage.<stage>.seconds"); attempt.N stages all observe into the
+// attempt histogram.
+func StageHistName(stage string) string { return "cluster.stage." + stage + ".seconds" }
 
 // replicaMetrics are the per-replica counters the router maintains: proxied
 // requests and failed attempts (connect errors or 503 rejections).
@@ -72,14 +96,21 @@ type Router struct {
 	cooloff map[string]time.Time // replica base -> no traffic until
 
 	perReplica map[string]*replicaMetrics
+	sampler    *obs.TraceSampler
 
-	mRequests   *obs.Counter
-	mFailovers  *obs.Counter
-	mCooloffs   *obs.Counter
-	mExhausted  *obs.Counter
-	mNoReplicas *obs.Counter
-	gRingSize   *obs.Gauge
-	hProxy      *obs.Histogram
+	mRequests     *obs.Counter
+	mFailovers    *obs.Counter
+	mCooloffs     *obs.Counter
+	mExhausted    *obs.Counter
+	mNoReplicas   *obs.Counter
+	mTraceSampled *obs.Counter
+	gRingSize     *obs.Gauge
+	hProxy        *obs.Histogram
+	hStageRoute   *obs.Histogram
+	hStagePick    *obs.Histogram
+	hStageAttempt *obs.Histogram
+	hStageProxy   *obs.Histogram
+	hStageRelay   *obs.Histogram
 }
 
 // ErrNoReplicas is returned by New when the config names no replicas.
@@ -111,19 +142,26 @@ func New(cfg Config) (*Router, error) {
 		client = &http.Client{Timeout: cfg.ProxyTimeout}
 	}
 	rt := &Router{
-		cfg:         cfg,
-		ring:        NewRing(cfg.VNodes),
-		client:      client,
-		reg:         reg,
-		cooloff:     make(map[string]time.Time),
-		perReplica:  make(map[string]*replicaMetrics, len(cfg.Replicas)),
-		mRequests:   reg.Counter("cluster.requests"),
-		mFailovers:  reg.Counter("cluster.failovers"),
-		mCooloffs:   reg.Counter("cluster.retry_after.cooloffs"),
-		mExhausted:  reg.Counter("cluster.exhausted"),
-		mNoReplicas: reg.Counter("cluster.no_replicas"),
-		gRingSize:   reg.Gauge("cluster.ring.size"),
-		hProxy:      reg.Histogram("cluster.proxy.seconds", obs.TimeBuckets()),
+		cfg:           cfg,
+		ring:          NewRing(cfg.VNodes),
+		client:        client,
+		reg:           reg,
+		cooloff:       make(map[string]time.Time),
+		perReplica:    make(map[string]*replicaMetrics, len(cfg.Replicas)),
+		sampler:       cfg.Sampler,
+		mRequests:     reg.Counter("cluster.requests"),
+		mFailovers:    reg.Counter("cluster.failovers"),
+		mCooloffs:     reg.Counter("cluster.retry_after.cooloffs"),
+		mExhausted:    reg.Counter("cluster.exhausted"),
+		mNoReplicas:   reg.Counter("cluster.no_replicas"),
+		mTraceSampled: reg.Counter("cluster.trace.sampled"),
+		gRingSize:     reg.Gauge("cluster.ring.size"),
+		hProxy:        reg.Histogram("cluster.proxy.seconds", obs.TimeBuckets()),
+		hStageRoute:   reg.Histogram(StageHistName(StageRoute), obs.TimeBuckets()),
+		hStagePick:    reg.Histogram(StageHistName(StagePick), obs.TimeBuckets()),
+		hStageAttempt: reg.Histogram(StageHistName(StageAttempt), obs.TimeBuckets()),
+		hStageProxy:   reg.Histogram(StageHistName(StageProxy), obs.TimeBuckets()),
+		hStageRelay:   reg.Histogram(StageHistName(StageRelay), obs.TimeBuckets()),
 	}
 	for _, b := range cfg.Replicas {
 		base := normalizeBase(b)
@@ -205,23 +243,57 @@ type routeKey struct {
 }
 
 // handleProxy routes one /estimate or /feedback request to its ring node
-// with bounded failover.
+// with bounded failover, tracing the journey as tiled stages (route → pick →
+// attempt.N* → proxy → relay). The fleet trace ID — the client's if it sent
+// one, minted here otherwise — is stamped on every response path, error
+// paths included, and forwarded to the replicas so their stage traces join
+// this one.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	rt.mRequests.Inc()
-	start := time.Now()
-	defer func() { rt.hProxy.ObserveDuration(time.Since(start)) }()
+	tr := obs.NewTraceWith(r.Header.Get(obs.TraceHeader))
+	tr.Annotate("role", "router")
+	w.Header().Set(obs.TraceHeader, tr.ID)
+	// The sampling decision is made up front so every forward can carry it
+	// to the replica (head-based sampling): both halves of a sampled trace
+	// land in their JSONL logs, joinable at any rate.
+	sampled := rt.sampler.Sample()
+
+	// attempts is the retry/failover amplification record: one entry per
+	// forward (ordinal, replica, outcome, duration), kept in the trace so
+	// tracescan can attribute tail latency to failovers explicitly.
+	var attempts []map[string]any
+	finish := func(status int) {
+		rt.hStageRelay.ObserveDuration(tr.Mark(StageRelay))
+		tr.Annotate("status", status)
+		if len(attempts) > 0 {
+			tr.Annotate("attempts", attempts)
+			tr.Annotate("failovers", len(attempts)-1)
+		}
+		// e2e from the trace total, not a second clock read: the stage
+		// histograms then sum to cluster.proxy.seconds by construction. The
+		// exemplar links the latest bucket hit back to this trace.
+		rt.hProxy.ObserveExemplarDuration(tr.Total(), tr.ID)
+		if sampled {
+			rt.mTraceSampled.Inc()
+			rt.sampler.Emit(tr)
+		}
+	}
 
 	body, key, err := rt.extractKey(r)
+	rt.hStageRoute.ObserveDuration(tr.Mark(StageRoute))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		finish(http.StatusBadRequest)
 		return
 	}
 	budget := 1 + rt.cfg.Retries
 	candidates := rt.ring.Successors(key, budget)
 	if len(candidates) == 0 {
+		rt.hStagePick.ObserveDuration(tr.Mark(StagePick))
 		rt.mNoReplicas.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "no healthy replicas")
+		finish(http.StatusServiceUnavailable)
 		return
 	}
 
@@ -232,13 +304,15 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// cooloff; if that skips everyone, the cooling candidates are retried
 	// anyway rather than failing a request the fleet could serve.
 	ordered := rt.orderCandidates(candidates)
+	rt.hStagePick.ObserveDuration(tr.Mark(StagePick))
 	var last *http.Response
 	var lastBody []byte
 	for i, base := range ordered {
 		if i > 0 {
 			rt.mFailovers.Inc()
 		}
-		resp, respBody, err := rt.forward(ctx, base, r, body)
+		n := i + 1
+		resp, respBody, err := rt.forward(ctx, base, r, body, tr.ID, n, sampled)
 		pm := rt.perReplica[base]
 		if pm != nil {
 			pm.requests.Inc()
@@ -247,10 +321,15 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			if pm != nil {
 				pm.failures.Inc()
 			}
+			d := tr.Mark(attemptStage(n))
+			rt.hStageAttempt.ObserveDuration(d)
 			if ctx.Err() != nil {
+				attempts = append(attempts, attemptRecord(n, base, "deadline", d))
 				writeError(w, http.StatusGatewayTimeout, "proxy deadline: "+ctx.Err().Error())
+				finish(http.StatusGatewayTimeout)
 				return
 			}
+			attempts = append(attempts, attemptRecord(n, base, "unreachable", d))
 			continue // connect error: fail over
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
@@ -258,18 +337,41 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 				pm.failures.Inc()
 			}
 			rt.noteRetryAfter(base, resp.Header.Get("Retry-After"))
+			d := tr.Mark(attemptStage(n))
+			rt.hStageAttempt.ObserveDuration(d)
+			attempts = append(attempts, attemptRecord(n, base, "rejected_503", d))
 			last, lastBody = resp, respBody
 			continue // overloaded replica: fail over
 		}
+		d := tr.Mark(StageProxy)
+		rt.hStageProxy.ObserveDuration(d)
+		attempts = append(attempts, attemptRecord(n, base, "ok", d))
 		relay(w, resp, respBody)
+		finish(resp.StatusCode)
 		return
 	}
 	rt.mExhausted.Inc()
 	if last != nil {
 		relay(w, last, lastBody) // propagate the fleet's 503 + Retry-After
+		finish(last.StatusCode)
 		return
 	}
 	writeError(w, http.StatusBadGateway, "all replicas unreachable")
+	finish(http.StatusBadGateway)
+}
+
+// attemptStage names the trace stage of forward attempt n (attempt.1,
+// attempt.2, …).
+func attemptStage(n int) string { return StageAttempt + "." + strconv.Itoa(n) }
+
+// attemptRecord is one entry of the trace's per-attempt annotation.
+func attemptRecord(n int, base, outcome string, d time.Duration) map[string]any {
+	return map[string]any{
+		"n":       n,
+		"replica": base,
+		"outcome": outcome,
+		"us":      float64(d.Nanoseconds()) / 1e3,
+	}
 }
 
 // extractKey reads the request far enough to compute the routing key and
@@ -359,10 +461,12 @@ func (rt *Router) noteRetryAfter(base, header string) {
 	rt.mCooloffs.Inc()
 }
 
-// forward sends one attempt of the client's request to a replica and reads
+// forward sends attempt n of the client's request to a replica and reads
 // the full response body (so failover can move on without leaking the
-// connection).
-func (rt *Router) forward(ctx context.Context, base string, r *http.Request, body []byte) (*http.Response, []byte, error) {
+// connection). The fleet trace ID and the parent span (this attempt) ride
+// the request headers; the replica tags its own stage trace with both, which
+// is the join key tracescan assembles cross-process traces on.
+func (rt *Router) forward(ctx context.Context, base string, r *http.Request, body []byte, traceID string, n int, sampled bool) (*http.Response, []byte, error) {
 	target := base + r.URL.Path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
@@ -378,8 +482,12 @@ func (rt *Router) forward(ctx context.Context, base string, r *http.Request, bod
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
-	if tid := r.Header.Get("X-Trace-Id"); tid != "" {
-		req.Header.Set("X-Trace-Id", tid) // propagate the client's trace
+	req.Header.Set(obs.TraceHeader, traceID)
+	req.Header.Set(obs.TraceParentHeader, traceID+"/"+attemptStage(n))
+	if sampled {
+		// Propagate the sampling decision so the replica emits the other
+		// half of this trace even when its own counter says no.
+		req.Header.Set(obs.TraceSampledHeader, "1")
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -393,10 +501,13 @@ func (rt *Router) forward(ctx context.Context, base string, r *http.Request, bod
 	return resp, respBody, nil
 }
 
-// relay copies a replica response to the client: trace and retry headers,
-// content type, status, body.
+// relay copies a replica response to the client: retry headers, content
+// type, status, body. X-Trace-Id is deliberately NOT copied — the router
+// already stamped its own (fleet) trace ID on the response, and the replica
+// echoes that same ID back, so overwriting would only mask a propagation
+// bug.
 func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
-	for _, h := range []string{"X-Trace-Id", "Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -423,16 +534,22 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics dumps the router's obs registry, JSON by default and
-// Prometheus text when the Accept header asks for it — the same content
+// handleMetrics dumps the router's obs registry, JSON by default,
+// Prometheus text on Accept: text/plain, and OpenMetrics with trace-ID
+// exemplars on Accept: application/openmetrics-text — the same content
 // negotiation the replicas' /metrics speaks.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
-		strings.Contains(accept, "openmetrics") {
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		rt.reg.WriteOpenMetrics(w)
+		return
+	}
+	if strings.Contains(accept, "text/plain") {
 		w.Header().Set("Content-Type", obs.PromContentType)
 		rt.reg.WritePrometheus(w)
 		return

@@ -194,8 +194,11 @@ func TestRouterAllOverloadedPropagates503(t *testing.T) {
 	}
 }
 
-// TestRouterTraceIDForwarding checks X-Trace-Id flows both ways through the
-// proxy: client -> replica and replica -> client.
+// TestRouterTraceIDForwarding checks the propagation contract: the client's
+// X-Trace-Id is adopted as the fleet trace ID, forwarded to the replica with
+// an attempt-span parent, and stamped on the response — even though the
+// (rogue) fake replica answers with its own trace header, which must not
+// leak through the relay.
 func TestRouterTraceIDForwarding(t *testing.T) {
 	a := newFakeReplica(t, "a")
 	_, ts := newTestRouter(t, Config{}, a)
@@ -203,13 +206,62 @@ func TestRouterTraceIDForwarding(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status=%d", code)
 	}
-	if tid != "trace-a" {
-		t.Fatalf("response trace id %q, want the replica's", tid)
+	if tid != "client-trace-7" {
+		t.Fatalf("response trace id %q, want the adopted fleet id", tid)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if len(a.traceIDs) != 1 || a.traceIDs[0] != "client-trace-7" {
 		t.Fatalf("replica saw trace ids %v, want [client-trace-7]", a.traceIDs)
+	}
+	if len(a.parents) != 1 || a.parents[0] != "client-trace-7/attempt.1" {
+		t.Fatalf("replica saw parents %v, want [client-trace-7/attempt.1]", a.parents)
+	}
+}
+
+// TestRouterMintsTraceIDOnErrorPaths is the regression for error responses
+// leaving without a trace ID: every router response path — including
+// no-replicas 503, bad-request 400, and retry-exhausted relays — must carry
+// a minted X-Trace-Id when the client sent none.
+func TestRouterMintsTraceIDOnErrorPaths(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	rt, ts := newTestRouter(t, Config{}, a)
+
+	post := func(body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/estimate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, resp.Header.Get("X-Trace-Id")
+	}
+
+	// Happy path with no client trace: minted.
+	resp, tid := post(estimateBody(1))
+	if resp.StatusCode != http.StatusOK || tid == "" {
+		t.Fatalf("ok path: status=%d trace=%q", resp.StatusCode, tid)
+	}
+	// Bad request (malformed body).
+	resp, tid = post("{not json")
+	if resp.StatusCode != http.StatusBadRequest || tid == "" {
+		t.Fatalf("bad-request path: status=%d trace=%q", resp.StatusCode, tid)
+	}
+	// Retry-exhausted relay of the fleet's 503.
+	a.overloaded.Store(true)
+	resp, tid = post(estimateBody(2))
+	if resp.StatusCode != http.StatusServiceUnavailable || tid == "" {
+		t.Fatalf("exhausted path: status=%d trace=%q", resp.StatusCode, tid)
+	}
+	a.overloaded.Store(false)
+	// No healthy replicas.
+	rt.ring.Remove(a.base())
+	resp, tid = post(estimateBody(3))
+	if resp.StatusCode != http.StatusServiceUnavailable || tid == "" {
+		t.Fatalf("no-replicas path: status=%d trace=%q", resp.StatusCode, tid)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no-replicas 503 lost Retry-After")
 	}
 }
 

@@ -27,6 +27,7 @@ type fakeReplica struct {
 	version   int
 	drift     map[string]any
 	traceIDs  []string
+	parents   []string
 }
 
 func newFakeReplica(t *testing.T, id string) *fakeReplica {
@@ -48,7 +49,12 @@ func newFakeReplica(t *testing.T, id string) *fakeReplica {
 		if tid := r.Header.Get("X-Trace-Id"); tid != "" {
 			f.traceIDs = append(f.traceIDs, tid)
 		}
+		if p := r.Header.Get("X-Trace-Parent"); p != "" {
+			f.parents = append(f.parents, p)
+		}
 		f.mu.Unlock()
+		// A rogue replica-minted trace ID: the router must NOT relay this —
+		// its own fleet trace ID is the response's join key.
 		w.Header().Set("X-Trace-Id", "trace-"+f.id)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"estimate":1,"replica":%q}`, f.id)

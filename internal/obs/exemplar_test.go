@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplarCapture(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	h.Observe(0.05) // plain observe: no exemplar
+	if _, ok := h.BucketExemplar(0); ok {
+		t.Fatal("plain Observe must not stamp an exemplar")
+	}
+	h.ObserveExemplar(0.05, "aaaa")
+	h.ObserveExemplar(0.07, "bbbb") // same bucket: last writer wins
+	h.ObserveExemplar(5, "cccc")
+	h.ObserveExemplar(100, "dddd") // overflow bucket
+	h.ObserveExemplar(0.5, "")     // empty trace id degrades to Observe
+
+	if ex, ok := h.BucketExemplar(0); !ok || ex.TraceID != "bbbb" || ex.Value != 0.07 {
+		t.Fatalf("bucket 0 exemplar = %+v, %v", ex, ok)
+	}
+	if _, ok := h.BucketExemplar(1); ok {
+		t.Fatal("bucket 1 saw only an empty trace id; must hold no exemplar")
+	}
+	if ex, ok := h.BucketExemplar(3); !ok || ex.TraceID != "dddd" {
+		t.Fatalf("overflow exemplar = %+v, %v", ex, ok)
+	}
+	if _, ok := h.BucketExemplar(-1); ok {
+		t.Fatal("out-of-range index must report no exemplar")
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("ObserveExemplar must still count: n=%d", got)
+	}
+
+	// ExemplarAbove scans top-down for the slowest traced offender.
+	if ex, ok := h.ExemplarAbove(0.1); !ok || ex.TraceID != "dddd" {
+		t.Fatalf("ExemplarAbove(0.1) = %+v, %v; want the overflow exemplar", ex, ok)
+	}
+	if ex, ok := h.ExemplarAbove(50); !ok || ex.TraceID != "dddd" {
+		t.Fatalf("ExemplarAbove(50) = %+v, %v", ex, ok)
+	}
+	if _, ok := NewHistogram([]float64{1}).ExemplarAbove(0); ok {
+		t.Fatal("empty histogram must report no exemplar")
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs").Add(3)
+	h := reg.Histogram("lat.seconds", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "feedface00000001")
+	h.ObserveExemplar(3, "feedface00000002")
+
+	var om, plain strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default exposition stays exemplar-free (scrapers that negotiated
+	// text/plain 0.0.4 must not see OpenMetrics syntax).
+	if strings.Contains(plain.String(), "# {") || strings.Contains(plain.String(), "# EOF") {
+		t.Fatalf("WritePrometheus leaked OpenMetrics syntax:\n%s", plain.String())
+	}
+	if !strings.Contains(om.String(), `lat_seconds_bucket{le="0.1"} 1 # {trace_id="feedface00000001"} 0.05`) {
+		t.Fatalf("missing bucket exemplar:\n%s", om.String())
+	}
+	if !strings.Contains(om.String(), `lat_seconds_bucket{le="+Inf"} 2 # {trace_id="feedface00000002"} 3`) {
+		t.Fatalf("missing overflow exemplar:\n%s", om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition must end with # EOF:\n%s", om.String())
+	}
+
+	// The exemplar-bearing exposition still parses, identically to the
+	// plain one — exemplars are invisible to the sample grammar.
+	fromOM, err := ParsePrometheus(strings.NewReader(om.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus on OpenMetrics output: %v", err)
+	}
+	fromPlain, err := ParsePrometheus(strings.NewReader(plain.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromOM) != len(fromPlain) {
+		t.Fatalf("series diverge: %d vs %d", len(fromOM), len(fromPlain))
+	}
+	for k, v := range fromPlain {
+		if fromOM[k] != v {
+			t.Fatalf("series %s: %v vs %v", k, fromOM[k], v)
+		}
+	}
+
+	exs, err := ParseExemplars(strings.NewReader(om.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := exs[`lat_seconds_bucket{le="0.1"}`]; ex.TraceID != "feedface00000001" || ex.Value != 0.05 {
+		t.Fatalf("ParseExemplars bucket 0.1 = %+v (all: %v)", ex, exs)
+	}
+	if ex := exs[`lat_seconds_bucket{le="+Inf"}`]; ex.TraceID != "feedface00000002" {
+		t.Fatalf("ParseExemplars +Inf = %+v", ex)
+	}
+	if len(exs) != 2 {
+		t.Fatalf("want 2 exemplars, got %v", exs)
+	}
+}
+
+func TestParsePrometheusToleratesExemplarLines(t *testing.T) {
+	in := "h_bucket{le=\"0.1\"} 4 # {trace_id=\"abc\"} 0.09\n" +
+		"h_bucket{le=\"+Inf\"} 5 # {trace_id=\"def\"} 2 1712345678\n" +
+		"plain 7\n# EOF\n"
+	series, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[`h_bucket{le="0.1"}`] != 4 || series[`h_bucket{le="+Inf"}`] != 5 || series["plain"] != 7 {
+		t.Fatalf("parsed %v", series)
+	}
+	if _, err := ParseExemplars(strings.NewReader("h_bucket{le=\"1\"} 2 # {trace_id=\"x\" 0.5\n")); err == nil {
+		t.Fatal("ParseExemplars must reject an unterminated exemplar label set")
+	}
+}

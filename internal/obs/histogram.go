@@ -13,10 +13,20 @@ import (
 // the bucket containing the target rank, so their resolution is the bucket
 // width.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
-	sum    atomic.Uint64   // float64 bits, CAS-accumulated
-	n      atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum       atomic.Uint64   // float64 bits, CAS-accumulated
+	n         atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last traced value per bucket
+}
+
+// Exemplar links one concrete observation to the trace that produced it: the
+// last traced value to land in a histogram bucket keeps its trace ID, so a
+// scraped latency spike resolves to a JSONL trace `cardnet tracescan` can
+// explain. Captured only by ObserveExemplar — plain Observe pays nothing.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // NewHistogram builds a histogram with the given upper bounds (sorted copies
@@ -25,7 +35,11 @@ type Histogram struct {
 func NewHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -46,6 +60,63 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and stamps its bucket's exemplar with
+// the trace ID that produced it — one atomic pointer swap beyond Observe, so
+// exemplar-linked histograms stay hot-path safe. An empty traceID degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveExemplarDuration records a duration in seconds with an exemplar.
+func (h *Histogram) ObserveExemplarDuration(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
+// BucketExemplar returns bucket i's exemplar (i indexes the snapshot's
+// bucket order, with len(Buckets) addressing the +Inf overflow bucket); ok
+// is false when nothing traced has landed there.
+func (h *Histogram) BucketExemplar(i int) (Exemplar, bool) {
+	if i < 0 || i >= len(h.exemplars) {
+		return Exemplar{}, false
+	}
+	if e := h.exemplars[i].Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
+}
+
+// ExemplarAbove returns the exemplar of the slowest populated bucket whose
+// observations exceed bound — the concrete trace behind an SLO breach. The
+// scan runs top-down so the worst traced offender wins.
+func (h *Histogram) ExemplarAbove(bound float64) (Exemplar, bool) {
+	for i := len(h.exemplars) - 1; i >= 0; i-- {
+		// Bucket i holds values in (bounds[i-1], bounds[i]]; it can exceed
+		// bound only when its upper edge does.
+		if i < len(h.bounds) && h.bounds[i] <= bound {
+			break
+		}
+		if e := h.exemplars[i].Load(); e != nil && e.Value > bound {
+			return *e, true
+		}
+	}
+	return Exemplar{}, false
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n.Load() }

@@ -13,6 +13,10 @@ import (
 // /metrics when the scraper asks for it.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// OpenMetricsContentType is served when the scraper negotiates OpenMetrics —
+// the exposition that carries per-bucket exemplars.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Label is one name="value" pair attached to a Prometheus series (an info
 // metric's constant labels, a histogram bucket's le, federation's instance).
 type Label struct {
@@ -30,6 +34,20 @@ type Label struct {
 // carry a _total suffix per the naming convention, and info series render as
 // constant gauges with their label sets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry like WritePrometheus but appends
+// OpenMetrics exemplars (`… # {trace_id="…"} value`) to histogram bucket
+// lines whose bucket holds one, and terminates the exposition with `# EOF`.
+// The base line grammar is unchanged, so ParsePrometheus round-trips both
+// expositions.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+// writeExposition is the shared renderer behind both exposition formats.
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	type hist struct {
 		name string
@@ -81,7 +99,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		pn := PromName(e.name)
 		writeHeader(bw, pn, "histogram", "histogram "+e.name)
 		s := e.h.Snapshot()
-		for _, b := range s.Buckets {
+		for bi, b := range s.Buckets {
 			if math.IsInf(b.UpperBound, 0) || math.IsNaN(b.UpperBound) {
 				continue // the synthetic +Inf bucket below carries the total
 			}
@@ -90,11 +108,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteString(escapeLabel(formatPromValue(b.UpperBound)))
 			bw.WriteString(`"} `)
 			bw.WriteString(strconv.FormatUint(b.Count, 10))
+			if exemplars {
+				writeExemplar(bw, e.h, bi)
+			}
 			bw.WriteByte('\n')
 		}
 		bw.WriteString(pn)
 		bw.WriteString(`_bucket{le="+Inf"} `)
 		bw.WriteString(strconv.FormatUint(s.Count, 10))
+		if exemplars {
+			writeExemplar(bw, e.h, len(s.Buckets))
+		}
 		bw.WriteByte('\n')
 		bw.WriteString(pn)
 		bw.WriteString("_sum ")
@@ -105,7 +129,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteString(strconv.FormatUint(s.Count, 10))
 		bw.WriteByte('\n')
 	}
+	if exemplars {
+		bw.WriteString("# EOF\n")
+	}
 	return bw.Flush()
+}
+
+// writeExemplar appends bucket bi's exemplar to the current bucket line
+// (` # {trace_id="…"} value`), writing nothing when the bucket has none.
+func writeExemplar(bw *bufio.Writer, h *Histogram, bi int) {
+	ex, ok := h.BucketExemplar(bi)
+	if !ok {
+		return
+	}
+	bw.WriteString(` # {trace_id="`)
+	bw.WriteString(escapeLabel(ex.TraceID))
+	bw.WriteString(`"} `)
+	bw.WriteString(formatPromValue(ex.Value))
 }
 
 func writeHeader(bw *bufio.Writer, name, typ, help string) {
@@ -266,6 +306,13 @@ func parseSampleLine(text string) (string, float64, *promParseError) {
 		i++
 	}
 	rest := text[i:]
+	// An OpenMetrics exemplar (` # {…} value`) may trail the sample; neither
+	// the value token nor a timestamp can contain '#', so strip from the
+	// first one. Exposition comments never reach here (leading-# lines are
+	// skipped by the caller).
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		rest = strings.TrimRight(rest[:j], " \t")
+	}
 	valTok := rest
 	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
 		valTok = rest[:sp]
@@ -355,6 +402,57 @@ func parseLabelSet(text string, i int) ([]Label, int, *promParseError) {
 		}
 		return fail(i, "expected ',' or '}' after label")
 	}
+}
+
+// ParseExemplars extracts the OpenMetrics exemplars from an exposition: a
+// map of canonical series id (the `…_bucket{le="…"}` line the exemplar
+// trails) → exemplar. Lines without exemplars are skipped; malformed
+// exemplar payloads fail with position info like ParsePrometheus.
+func ParseExemplars(r io.Reader) (map[string]Exemplar, error) {
+	out := make(map[string]Exemplar)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		hash := strings.Index(text, " # {")
+		if hash < 0 {
+			continue
+		}
+		id, _, perr := parseSampleLine(text[:hash])
+		if perr != nil {
+			perr.line = line
+			return nil, perr
+		}
+		labels, j, perr := parseLabelSet(text, hash+len(" # {"))
+		if perr != nil {
+			perr.line = line
+			return nil, perr
+		}
+		valTok := strings.TrimSpace(text[j:])
+		if sp := strings.IndexAny(valTok, " \t"); sp >= 0 {
+			valTok = valTok[:sp] // ignore an optional exemplar timestamp
+		}
+		v, err := strconv.ParseFloat(valTok, 64)
+		if err != nil {
+			return nil, &promParseError{line: line, col: j + 1, msg: "bad exemplar value", text: text}
+		}
+		ex := Exemplar{Value: v}
+		for _, l := range labels {
+			if l.Name == "trace_id" {
+				ex.TraceID = l.Value
+			}
+		}
+		out[id] = ex
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func isNameRune(c byte, notFirst bool) bool {

@@ -81,6 +81,11 @@ type Transition struct {
 	FastBurn  float64   `json:"fast_burn"`
 	SlowBurn  float64   `json:"slow_burn"`
 	At        time.Time `json:"at"`
+	// ExemplarTraceID is the trace behind the breach for latency objectives:
+	// the histogram's exemplar above the objective's bound, i.e. a concrete
+	// slow request an operator can look up in the trace log (`cardnet
+	// tracescan`) instead of starting from an aggregate.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 }
 
 // Config tunes a Tracker. Zero values take the documented defaults.
@@ -294,14 +299,22 @@ func (t *Tracker) Eval(now time.Time) {
 			next = StateWarn
 		}
 		if next != st.state {
-			transitions = append(transitions, Transition{
+			tr := Transition{
 				Objective: st.obj.Name,
 				From:      st.state.String(),
 				To:        next.String(),
 				FastBurn:  st.fastBurn,
 				SlowBurn:  st.slowBurn,
 				At:        now,
-			})
+			}
+			// A worsening latency objective names its culprit: the slowest
+			// traced observation beyond the bound.
+			if st.hist != nil && next > st.state {
+				if ex, ok := st.hist.ExemplarAbove(st.obj.Bound); ok {
+					tr.ExemplarTraceID = ex.TraceID
+				}
+			}
+			transitions = append(transitions, tr)
 			st.state = next
 		}
 		if st.obj.Histogram != "" && t.cfg.P99Threshold > 0 && fast.p99 > t.cfg.P99Threshold {
@@ -322,13 +335,17 @@ func (t *Tracker) Eval(now time.Time) {
 	for _, tr := range transitions {
 		t.cTransitions.Inc()
 		if t.cfg.Sink != nil {
-			t.cfg.Sink.Emit("slo.transition", map[string]any{
+			fields := map[string]any{
 				"objective": tr.Objective,
 				"from":      tr.From,
 				"to":        tr.To,
 				"fast_burn": tr.FastBurn,
 				"slow_burn": tr.SlowBurn,
-			})
+			}
+			if tr.ExemplarTraceID != "" {
+				fields["exemplar_trace_id"] = tr.ExemplarTraceID
+			}
+			t.cfg.Sink.Emit("slo.transition", fields)
 		}
 		if t.cfg.OnTransition != nil {
 			t.cfg.OnTransition(tr)
@@ -515,6 +532,9 @@ type ObjectiveStatus struct {
 	FastP99       float64 `json:"fast_p99_seconds,omitempty"`
 	FastGood      float64 `json:"fast_window_good"`
 	FastTotal     float64 `json:"fast_window_total"`
+	// ExemplarTraceID, for a latency objective in warn/page, is a concrete
+	// trace slower than the bound — the /slo → trace log entry point.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 }
 
 // Status is the /slo wire format.
@@ -564,6 +584,11 @@ func (t *Tracker) Status() Status {
 			os.Kind = "latency"
 			os.Bound = st.obj.Bound
 			os.FastP99 = st.fastP99
+			if st.state > StateOK {
+				if ex, ok := st.hist.ExemplarAbove(st.obj.Bound); ok {
+					os.ExemplarTraceID = ex.TraceID
+				}
+			}
 		}
 		s.Objectives = append(s.Objectives, os)
 	}

@@ -217,6 +217,67 @@ func TestLatencyObjectiveAndP99Trigger(t *testing.T) {
 	}
 }
 
+// TestLatencyTransitionCarriesExemplar checks the /slo → trace workflow: a
+// latency objective degrading names a concrete traced request beyond the
+// bound, in the transition event, the JSONL sink line, and Status.
+func TestLatencyTransitionCarriesExemplar(t *testing.T) {
+	obs.SetEnabled(true)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	var seen []Transition
+	tr := New(Config{
+		Registry:   reg,
+		FastWindow: time.Minute,
+		SlowWindow: 5 * time.Minute,
+		Sink:       obs.NewSink(&buf),
+		OnTransition: func(t Transition) {
+			seen = append(seen, t)
+		},
+		Objectives: []Objective{{
+			Name:      "latency",
+			Target:    0.5,
+			Histogram: "serving.e2e.seconds",
+			Bound:     0.1,
+		}},
+	})
+	h := reg.Histogram("serving.e2e.seconds", obs.TimeBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	tr.Eval(epoch)
+	// Latency regression with traced observations: the slow requests carry
+	// trace IDs, so the breach should name one.
+	for i := 0; i < 100; i++ {
+		h.ObserveExemplar(1.0, "feedfacecafe0042")
+	}
+	tr.Eval(epoch.Add(2 * time.Minute))
+
+	if len(seen) == 0 {
+		t.Fatal("latency regression produced no transition")
+	}
+	if seen[0].ExemplarTraceID != "feedfacecafe0042" {
+		t.Fatalf("transition exemplar = %q, want the slow trace", seen[0].ExemplarTraceID)
+	}
+	if !strings.Contains(buf.String(), `"exemplar_trace_id":"feedfacecafe0042"`) {
+		t.Fatalf("sink line missing exemplar: %s", buf.String())
+	}
+	st := tr.Status().Objectives[0]
+	if st.State == "ok" || st.ExemplarTraceID != "feedfacecafe0042" {
+		t.Fatalf("status lost the exemplar: %+v", st)
+	}
+
+	// Recovery transitions (toward ok) carry no exemplar: there is no
+	// breach to explain.
+	for i := 0; i < 10000; i++ {
+		h.Observe(0.001)
+	}
+	tr.Eval(epoch.Add(4 * time.Minute))
+	last := seen[len(seen)-1]
+	if last.To == "ok" && last.ExemplarTraceID != "" {
+		t.Fatalf("recovery transition carries an exemplar: %+v", last)
+	}
+}
+
 func TestZeroTrafficStaysOK(t *testing.T) {
 	obs.SetEnabled(true)
 	reg := obs.NewRegistry()

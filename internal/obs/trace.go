@@ -1,9 +1,29 @@
 package obs
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Cross-process span-propagation headers. TraceHeader carries the fleet-wide
+// trace ID (minted by whichever hop sees the request first — normally the
+// cluster router); TraceParentHeader carries the parent span within that
+// trace (the router's attempt span a replica's stage trace hangs under), so
+// the two sides' sampled JSONL trace logs can be joined by `cardnet
+// tracescan` into one end-to-end trace.
+const (
+	TraceHeader       = "X-Trace-Id"
+	TraceParentHeader = "X-Trace-Parent"
+	// TraceSampledHeader propagates the sampling decision: when the router
+	// samples a request it sets this to "1" on the forwarded request, and
+	// the replica emits its stage trace regardless of its own sampling
+	// counter. Without decision propagation the two sides would sample
+	// independently and their logs would almost never name the same
+	// request at operational rates (two independent 1-in-100 counters
+	// coincide 1 time in 10,000).
+	TraceSampledHeader = "X-Trace-Sampled"
 )
 
 // Trace is one request's journey through the serving pipeline: a process-
@@ -33,11 +53,29 @@ type TraceStage struct {
 	Us   float64 `json:"us"` // stage duration in microseconds
 }
 
-// traceSeq seeds trace IDs; the process start time makes IDs unique across
-// restarts, the counter makes them unique within one.
+// traceSeq seeds trace IDs; the counter makes IDs unique within the process
+// and the seed makes the ID stream unique across the fleet (see traceSeed).
 var traceSeq atomic.Uint64
 
-func init() { traceSeq.Store(uint64(time.Now().UnixNano())) }
+func init() { traceSeq.Store(traceSeed(time.Now().UnixNano(), os.Getpid())) }
+
+// traceSeed derives the trace-ID counter's start point from the process
+// start time and PID, both pushed through the splitmix64 finalizer. Time
+// alone is not fleet-unique: two replicas launched in the same nanosecond
+// (containers sharing a clock, a test forking a fleet) would walk identical
+// ID streams. Mixing the PID in — and avalanching the combination — places
+// each process's stream at an effectively random offset of the 2⁶⁴ counter
+// cycle, so streams of distinct processes do not collide in practice.
+func traceSeed(nano int64, pid int) uint64 {
+	return mix64(uint64(nano)) ^ mix64(uint64(pid)+0x6a09e667f3bcc909)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap invertible avalanche.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // NewTrace starts a trace now with a fresh ID.
 func NewTrace() *Trace {
@@ -45,14 +83,26 @@ func NewTrace() *Trace {
 	return &Trace{ID: traceID(), Start: now, last: now}
 }
 
-// traceID returns a 16-hex-digit process-unique ID (a splitmix64 step over a
-// time-seeded counter — cheap, collision-free within the process, and with
-// no global lock on the hot path).
+// NewTraceWith starts a trace now adopting a propagated trace ID (the
+// TraceHeader value from an upstream hop); an empty id mints a fresh one, so
+// edge processes and interior hops share one code path.
+func NewTraceWith(id string) *Trace {
+	if id == "" {
+		return NewTrace()
+	}
+	now := time.Now()
+	return &Trace{ID: id, Start: now, last: now}
+}
+
+// NewTraceID mints one fleet-unique 16-hex-digit ID without opening a trace —
+// for join keys on non-request timelines (the rollout journal).
+func NewTraceID() string { return traceID() }
+
+// traceID returns a 16-hex-digit fleet-unique ID (a splitmix64 step over a
+// time+PID-seeded counter — cheap, collision-free within the process, and
+// with no global lock on the hot path).
 func traceID() string {
-	z := traceSeq.Add(0x9e3779b97f4a7c15)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	z := mix64(traceSeq.Add(0x9e3779b97f4a7c15))
 	const hex = "0123456789abcdef"
 	var b [16]byte
 	for i := 15; i >= 0; i-- {
@@ -129,16 +179,31 @@ func (t *Trace) Fields() map[string]any {
 
 // TraceSampler emits every Nth trace to a JSONL sink: rate 0.01 means one
 // trace in 100. Counter-based sampling is deterministic, cheap (one atomic
-// add per request), and free of RNG locks on the hot path.
+// add per request), and free of RNG locks on the hot path. Emission is
+// asynchronous: Emit hands the rendered trace to a background writer over a
+// bounded queue, so JSON marshaling and the write syscall never sit on the
+// request path. A full queue drops the trace (counted, never blocking);
+// Close drains the queue, so traces emitted before Close are durable.
 type TraceSampler struct {
-	every uint64
-	seq   atomic.Uint64
-	sink  *Sink
+	every   uint64
+	seq     atomic.Uint64
+	sink    *Sink
+	queue   chan map[string]any
+	quit    chan struct{}
+	done    chan struct{}
+	dropped atomic.Uint64
+	once    sync.Once
 }
+
+// traceQueueDepth bounds the async emission queue. At typical trace sizes
+// the writer drains tens of thousands of lines per second, so the queue only
+// fills if the sink's backing store stalls outright.
+const traceQueueDepth = 1024
 
 // NewTraceSampler builds a sampler writing to sink at the given rate. A nil
 // sink, or a rate outside (0, 1], yields a nil sampler (sampling off); rates
-// are rounded to 1-in-round(1/rate).
+// are rounded to 1-in-round(1/rate). The caller keeps ownership of sink and
+// must Close the sampler (draining its queue) before closing the sink.
 func NewTraceSampler(rate float64, sink *Sink) *TraceSampler {
 	if sink == nil || rate <= 0 || rate > 1 {
 		return nil
@@ -147,7 +212,36 @@ func NewTraceSampler(rate float64, sink *Sink) *TraceSampler {
 	if every < 1 {
 		every = 1
 	}
-	return &TraceSampler{every: every, sink: sink}
+	s := &TraceSampler{
+		every: every,
+		sink:  sink,
+		queue: make(chan map[string]any, traceQueueDepth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.writer()
+	return s
+}
+
+// writer is the background goroutine that owns all sink writes. On quit it
+// drains whatever Emit already queued before acknowledging.
+func (s *TraceSampler) writer() {
+	defer close(s.done)
+	for {
+		select {
+		case f := <-s.queue:
+			s.sink.Emit("trace", f)
+		case <-s.quit:
+			for {
+				select {
+				case f := <-s.queue:
+					s.sink.Emit("trace", f)
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // Sample reports whether the current request should be emitted, advancing
@@ -159,12 +253,41 @@ func (s *TraceSampler) Sample() bool {
 	return s.seq.Add(1)%s.every == 0
 }
 
-// Emit writes one trace as a "trace" event. Nil-safe.
+// Emit queues one trace for background emission as a "trace" event. The
+// hot-path cost is rendering the fields map and one channel send; if the
+// queue is full the trace is dropped and counted. Nil-safe.
 func (s *TraceSampler) Emit(t *Trace) error {
 	if s == nil || t == nil {
 		return nil
 	}
-	return s.sink.Emit("trace", t.Fields())
+	select {
+	case s.queue <- t.Fields():
+	default:
+		s.dropped.Add(1)
+	}
+	return nil
+}
+
+// Dropped reports traces lost to a full emission queue. Nil-safe.
+func (s *TraceSampler) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close stops the background writer after draining every queued trace. It
+// does not close the sink (the caller owns it). Idempotent and nil-safe;
+// traces emitted concurrently with Close may be dropped.
+func (s *TraceSampler) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() {
+		close(s.quit)
+		<-s.done
+	})
+	return nil
 }
 
 // Every returns the sampling stride (0 for a nil sampler), for reporting the

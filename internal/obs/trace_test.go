@@ -98,6 +98,13 @@ func TestTraceFieldsAndSampler(t *testing.T) {
 	if emitted != 5 {
 		t.Fatalf("emitted %d traces at rate 0.5 over 10, want 5", emitted)
 	}
+	// Emission is asynchronous; Close drains the queue into the sink.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped %d traces with an idle queue", s.Dropped())
+	}
 	sc := bufio.NewScanner(&buf)
 	lines := 0
 	for sc.Scan() {
@@ -124,7 +131,8 @@ func TestTraceFieldsAndSampler(t *testing.T) {
 
 	// Disabled samplers are nil-safe no-ops.
 	var off *TraceSampler
-	if off.Sample() || off.Emit(NewTrace()) != nil || off.Every() != 0 {
+	if off.Sample() || off.Emit(NewTrace()) != nil || off.Every() != 0 ||
+		off.Close() != nil || off.Dropped() != 0 {
 		t.Fatal("nil sampler must be inert")
 	}
 	if NewTraceSampler(0, sink) != nil || NewTraceSampler(1.5, sink) != nil || NewTraceSampler(0.5, nil) != nil {

@@ -1,0 +1,186 @@
+package tracescan
+
+import (
+	"strings"
+	"testing"
+)
+
+// jl assembles a JSONL document from lines.
+func jl(lines ...string) string { return strings.Join(lines, "\n") + "\n" }
+
+func load(t *testing.T, doc, file string) []Event {
+	t.Helper()
+	evs, err := Load(strings.NewReader(doc), file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// Router event: 10us route + 5us pick + 100us proxy + 2us relay = 117us e2e.
+const routerOK = `{"event":"trace","trace_id":"t1","role":"router","total_us":117,"status":200,` +
+	`"attempts":[{"n":1,"replica":"http://a","outcome":"ok","us":100}],` +
+	`"stages":[{"stage":"route","us":10},{"stage":"pick","us":5},{"stage":"proxy","us":100},{"stage":"relay","us":2}]}`
+
+// Matched replica span: 90us of replica work under attempt.1 -> 10us network.
+const replicaOK = `{"event":"trace","trace_id":"t1","role":"replica","parent":"t1/attempt.1","total_us":90,` +
+	`"stages":[{"stage":"admission","us":1},{"stage":"queue.wait","us":9},{"stage":"forward","us":75},{"stage":"write","us":5}]}`
+
+func TestLoadSkipsForeignEvents(t *testing.T) {
+	doc := jl(
+		`{"event":"rollout.start","path":"m.bin"}`,
+		``,
+		routerOK,
+		`{"event":"slo.transition","objective":"x"}`,
+		replicaOK,
+	)
+	evs := load(t, doc, "mixed.jsonl")
+	if len(evs) != 2 {
+		t.Fatalf("want 2 trace events, got %d", len(evs))
+	}
+	if evs[0].Role != "router" || evs[1].Role != "replica" {
+		t.Fatalf("roles = %s,%s", evs[0].Role, evs[1].Role)
+	}
+	if evs[0].File != "mixed.jsonl" {
+		t.Fatalf("file provenance lost: %q", evs[0].File)
+	}
+	if _, err := Load(strings.NewReader("{broken\n"), "bad.jsonl"); err == nil {
+		t.Fatal("malformed JSONL must error, not shrink the report")
+	}
+}
+
+func TestLoadInfersRoleFromAttempts(t *testing.T) {
+	doc := jl(
+		`{"event":"trace","trace_id":"x","total_us":5,"attempts":[{"n":1,"replica":"r","outcome":"ok","us":4}],"stages":[{"stage":"proxy","us":5}]}`,
+		`{"event":"trace","trace_id":"x","total_us":4,"stages":[{"stage":"forward","us":4}]}`,
+	)
+	evs := load(t, doc, "old.jsonl")
+	if evs[0].Role != "router" || evs[1].Role != "replica" {
+		t.Fatalf("inferred roles = %s,%s", evs[0].Role, evs[1].Role)
+	}
+}
+
+func TestAssembleJoinsAndTiles(t *testing.T) {
+	evs := load(t, jl(routerOK, replicaOK), "f.jsonl")
+	traces, orphans := Assemble(evs, 50)
+	if len(traces) != 1 || orphans != 0 {
+		t.Fatalf("traces=%d orphans=%d", len(traces), orphans)
+	}
+	tr := traces[0]
+	if !tr.TilingOK || tr.TilingErrUs > 0.01 {
+		t.Fatalf("tiling: ok=%v err=%v", tr.TilingOK, tr.TilingErrUs)
+	}
+	if tr.TotalUs != 117 || tr.ProxyUs != 100 || tr.ReplicaUs != 90 || tr.NetworkUs != 10 {
+		t.Fatalf("decomposition: %+v", tr)
+	}
+	if tr.Attempts != 1 || tr.Failovers != 0 || tr.Status != 200 {
+		t.Fatalf("metadata: %+v", tr)
+	}
+}
+
+func TestAssembleFlagsBrokenTiling(t *testing.T) {
+	// Stage sum 80 != total 117: the invariant broke upstream.
+	bad := `{"event":"trace","trace_id":"t2","role":"router","total_us":117,` +
+		`"stages":[{"stage":"route","us":10},{"stage":"proxy","us":70}]}`
+	traces, _ := Assemble(load(t, jl(bad), "f"), 50)
+	if traces[0].TilingOK {
+		t.Fatal("stage sum 37us short of total must flag the trace")
+	}
+	if traces[0].TilingErrUs != 37 {
+		t.Fatalf("tiling err = %v, want 37", traces[0].TilingErrUs)
+	}
+}
+
+func TestAssembleFlagsClockSkew(t *testing.T) {
+	// Replica claims 160us inside a 100us proxy window: 60us of skew.
+	skewed := strings.Replace(replicaOK, `"total_us":90`, `"total_us":160`, 1)
+	traces, _ := Assemble(load(t, jl(routerOK, skewed), "f"), 50)
+	tr := traces[0]
+	if tr.TilingOK || tr.SkewUs != 60 {
+		t.Fatalf("skew 60us over a 50us tolerance must flag: ok=%v skew=%v", tr.TilingOK, tr.SkewUs)
+	}
+	// The same overshoot inside a generous tolerance passes.
+	traces, _ = Assemble(load(t, jl(routerOK, skewed), "f"), 100)
+	if !traces[0].TilingOK {
+		t.Fatal("skew within tolerance must pass")
+	}
+}
+
+func TestAssembleCountsOrphans(t *testing.T) {
+	orphan := strings.Replace(replicaOK, `"trace_id":"t1"`, `"trace_id":"zz"`, 1)
+	traces, orphans := Assemble(load(t, jl(routerOK, orphan), "f"), 50)
+	if len(traces) != 1 || orphans != 1 {
+		t.Fatalf("traces=%d orphans=%d", len(traces), orphans)
+	}
+}
+
+func TestAssembleMatchesReplicaByParent(t *testing.T) {
+	// Failover: attempt.1 rejected (replica A sampled its rejection, short
+	// span), attempt.2 ok on replica B. The parent match must pick B even
+	// though A's event arrives first.
+	router := `{"event":"trace","trace_id":"t3","role":"router","total_us":210,"status":200,"failovers":1,` +
+		`"attempts":[{"n":1,"replica":"http://a","outcome":"rejected_503","us":40},{"n":2,"replica":"http://b","outcome":"ok","us":160}],` +
+		`"stages":[{"stage":"route","us":5},{"stage":"pick","us":3},{"stage":"attempt.1","us":40},{"stage":"proxy","us":160},{"stage":"relay","us":2}]}`
+	repA := `{"event":"trace","trace_id":"t3","role":"replica","parent":"t3/attempt.1","total_us":35,"stages":[{"stage":"admission","us":35}]}`
+	repB := `{"event":"trace","trace_id":"t3","role":"replica","parent":"t3/attempt.2","total_us":150,"stages":[{"stage":"forward","us":150}]}`
+	traces, _ := Assemble(load(t, jl(router, repA, repB), "f"), 50)
+	tr := traces[0]
+	if tr.ReplicaUs != 150 || tr.NetworkUs != 10 {
+		t.Fatalf("parent match failed: replica=%v network=%v", tr.ReplicaUs, tr.NetworkUs)
+	}
+	if tr.Failovers != 1 || tr.Attempts != 2 {
+		t.Fatalf("amplification lost: %+v", tr)
+	}
+	if !tr.TilingOK {
+		t.Fatalf("tiled failover trace flagged: err=%v skew=%v", tr.TilingErrUs, tr.SkewUs)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	router2 := `{"event":"trace","trace_id":"t4","role":"router","total_us":500,"status":200,"failovers":1,` +
+		`"attempts":[{"n":1,"replica":"http://a","outcome":"unreachable","us":100},{"n":2,"replica":"http://b","outcome":"ok","us":380}],` +
+		`"stages":[{"stage":"route","us":8},{"stage":"pick","us":4},{"stage":"attempt.1","us":100},{"stage":"proxy","us":380},{"stage":"relay","us":8}]}`
+	rep2 := `{"event":"trace","trace_id":"t4","role":"replica","parent":"t4/attempt.2","total_us":360,` +
+		`"stages":[{"stage":"forward","us":360}]}`
+	evs := load(t, jl(routerOK, replicaOK, router2, rep2), "f.jsonl")
+	rep := BuildReport(evs, 50, 1)
+
+	if rep.Traces != 2 || rep.Joined != 2 || rep.Orphans != 0 || rep.TilingViolations != 0 {
+		t.Fatalf("summary: %+v", rep)
+	}
+	// attempt.1 normalizes into one "attempt" series.
+	var sawAttempt bool
+	for _, s := range rep.RouterStages {
+		if s.Name == "attempt" && s.Count == 1 {
+			sawAttempt = true
+		}
+		if strings.Contains(s.Name, "attempt.") {
+			t.Fatalf("unnormalized stage %q", s.Name)
+		}
+	}
+	if !sawAttempt {
+		t.Fatalf("attempt series missing: %+v", rep.RouterStages)
+	}
+	if rep.Amplification.MaxAttempts != 2 || rep.Amplification.FailoverRate != 0.5 {
+		t.Fatalf("amplification: %+v", rep.Amplification)
+	}
+	if rep.Amplification.ByOutcome["ok"] != 2 || rep.Amplification.ByOutcome["unreachable"] != 1 {
+		t.Fatalf("outcomes: %+v", rep.Amplification.ByOutcome)
+	}
+	if len(rep.Slow) != 1 || rep.Slow[0].TraceID != "t4" || rep.Slow[0].TotalUs != 500 {
+		t.Fatalf("slow table: %+v", rep.Slow)
+	}
+	// t4's biggest cross-process cost is the replica's 360us forward.
+	if rep.Slow[0].TopStage != "forward" {
+		t.Fatalf("top stage = %q, want forward", rep.Slow[0].TopStage)
+	}
+
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 traces", "amplification", "slowest 1 traces", "forward", "network"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
