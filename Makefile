@@ -8,9 +8,9 @@ VERSION ?= dev
 GITSHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS = -X main.buildVersion=$(VERSION) -X main.buildSHA=$(GITSHA)
 
-.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster bench-obs bench-serving bench-train
+.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer bench-obs bench-serving bench-train bench-kernels
 
-ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster
+ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -68,6 +68,13 @@ race-cluster:
 	$(GO) test -race -count=3 ./internal/cluster
 	$(GO) test -race -count=2 ./cmd/cardnet -run 'RouterE2E|RunRouter'
 
+# Stress the compiled inference path under the race detector: one plan shared
+# by concurrent estimators (the scratch pool), engine precision tiers, and
+# plan re-lowering racing hot swaps.
+race-infer:
+	$(GO) test -race -count=3 ./internal/infer -run 'Concurrent|Plan|Gate'
+	$(GO) test -race -count=3 ./internal/serving -run 'Precision|GateFallback|SwapRelowers'
+
 # Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
@@ -85,3 +92,9 @@ bench-serving:
 bench-train:
 	$(GO) run ./cmd/cardnet -mode trainbench -dataset HM-ImageNet -n 1200 \
 		-benchepochs 8 -benchout results/BENCH_train.json
+
+# Kernel-level GFLOP/s table for the inference fast path: the f64/f32/int8
+# ABT kernels, int8 activation quantization, and the zero-skip-vs-branch-free
+# dense matmul comparison, all at the trainbench harness shape.
+bench-kernels:
+	$(GO) test ./internal/tensor -run '^$$' -bench 'KernelABT|KernelInt8|ZeroSkip' -benchmem

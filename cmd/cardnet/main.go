@@ -63,6 +63,7 @@ import (
 	"cardnet/internal/cluster"
 	"cardnet/internal/core"
 	"cardnet/internal/dataset"
+	"cardnet/internal/infer"
 	"cardnet/internal/metrics"
 	"cardnet/internal/obs"
 	"cardnet/internal/obs/runtimeobs"
@@ -99,6 +100,9 @@ func main() {
 	workers := flag.Int("workers", 0, "train/update: data-parallel training shards (0 = all CPUs); serve: batch workers (0 = half the CPUs)")
 	benchEpochs := flag.Int("benchepochs", 8, "trainbench: training epochs per worker configuration")
 	cacheEntries := flag.Int("cache", 4096, "serve: estimate cache entries (negative disables)")
+	precision := flag.String("precision", "f64", "serve: inference precision tier (f64 | f32 | int8); compiled tiers serve only if the accuracy gate passes, else f64")
+	precisionGateDelta := flag.Float64("precision-gate-delta", infer.DefaultGateMaxDelta, "serve: max q-error p99 delta vs f64 a compiled precision tier may add before falling back")
+	precisionGateSweep := flag.Int("precision-gate-sweep", infer.DefaultGateSweep, "serve: validation queries the precision gate evaluates per (re)lowering")
 	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve/router: fraction of requests whose traces are written to -tracelog")
 	traceLog := flag.String("tracelog", "off", `serve/router: JSONL request-trace log path ("off" = disabled)`)
 	auditRate := flag.Float64("audit-sample-rate", 0, "serve: fraction of estimates replayed against the exact oracle (Hamming datasets only; 0 = off)")
@@ -146,12 +150,20 @@ func main() {
 	obs.Default.Gauge("process.start_time.seconds").
 		Set(float64(runtimeobs.StartTime().UnixNano()) / 1e9)
 
+	precTier, err := infer.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatalf("-precision: %v", err)
+	}
 	serveCfg := serving.Config{
 		MaxBatch:     *maxBatch,
 		MaxWait:      *maxWait,
 		QueueDepth:   *queueDepth,
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
+		Precision:    precTier,
+		GateMaxDelta: *precisionGateDelta,
+		GateSweep:    *precisionGateSweep,
+		GateSeed:     *seed,
 	}
 
 	spec, ok := dataset.DefaultsByName()[*dsName]
@@ -433,6 +445,15 @@ func main() {
 			rep.Tracing.OverheadP50Pct, rep.Tracing.Untraced.P50Micros, rep.Tracing.Traced.P50Micros)
 		log.Printf("queue wait p50/p95: %.0f/%.0fus, mean batch %.1f, flush mix %v -> %s",
 			rep.Tracing.QueueWaitP50Us, rep.Tracing.QueueWaitP95Us, rep.Tracing.MeanBatchSize, rep.Tracing.FlushMix, out)
+		if rep.Precision != nil {
+			for _, tier := range rep.Precision.Tiers {
+				for _, p := range tier.Points {
+					log.Printf("precision %-4s (serves %-4s, gate pass=%v Δq=%.4f) batch %2d: p50 %7.1fus p99 %7.1fus %8.0f est/s (%.2fx)",
+						tier.Tier, tier.Served, tier.GatePass, tier.QErrP99Delta,
+						p.Batch, p.P50Us, p.P99Us, p.QPS, p.SpeedupP50)
+				}
+			}
+		}
 		if rep.Admission != nil {
 			log.Printf("admission: %d/%d rejected 503 (%.1f%%), Retry-After on %d",
 				rep.Admission.Rejected503, rep.Admission.Calls,

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cardnet/internal/core"
+	"cardnet/internal/infer"
 	"cardnet/internal/obs"
 	"cardnet/internal/obs/monitor"
 	"cardnet/internal/obs/profcap"
@@ -125,6 +126,9 @@ func runServe(m *core.Model, addr string, scfg serving.Config, opts serveOptions
 	}
 
 	log.Printf("serving CardNet (in_dim=%d tau_max=%d, %d KB) on %s", m.InDim, m.Cfg.TauMax, m.SizeBytes()/1024, addr)
+	if g := eng.Precision(); g.Requested != infer.PrecisionF64 {
+		log.Printf("precision: requested %s, serving %s — %s", g.Requested, g.Tier, g.Reason)
+	}
 	log.Printf("endpoints: POST/GET /estimate, POST /feedback, POST /admin/reload, /metrics, /metrics/federate, /healthz, /drift, /slo, /debug/pprof/")
 	if len(opts.peers) > 0 {
 		log.Printf("federating %d peers: %s", len(opts.peers), strings.Join(opts.peers, ", "))
@@ -537,6 +541,7 @@ func handleHealthz(eng *serving.Engine, mon *monitor.Monitor, tracker *slo.Track
 			"model_bytes":        m.SizeBytes(),
 			"model_version":      version,
 			"cache_entries":      eng.CacheLen(),
+			"precision":          eng.Precision(),
 		})
 	}
 }

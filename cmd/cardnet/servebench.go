@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cardnet/internal/core"
+	"cardnet/internal/infer"
 	"cardnet/internal/obs"
 	"cardnet/internal/obs/monitor"
 	"cardnet/internal/serving"
@@ -52,6 +53,41 @@ type traceBench struct {
 	FlushMix       map[string]uint64 `json:"flush_mix"`
 }
 
+// precisionPoint is one (tier, batch size) forward-path measurement of the
+// precision trajectory: per-call latency quantiles, estimate throughput, and
+// the p50 speedup over the f64 tier at the same batch size.
+type precisionPoint struct {
+	Batch      int     `json:"batch"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	QPS        float64 `json:"qps"`
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// precisionTier is one tier of the trajectory: the gate verdict (which tier
+// actually serves, the measured q-error delta, Lemma-2 violation count) and
+// the latency points across batch sizes. A failed gate records the fallback
+// and measures the f64 path it would actually serve.
+type precisionTier struct {
+	Tier           string           `json:"tier"`
+	Served         string           `json:"served"`
+	GatePass       bool             `json:"gate_pass"`
+	QErrP99Delta   float64          `json:"q_err_p99_delta"`
+	MonoViolations int              `json:"mono_violations"`
+	Reason         string           `json:"reason"`
+	Points         []precisionPoint `json:"points"`
+}
+
+// precisionSection is the f64→f32→int8 trajectory of the compiled inference
+// fast path, measured on the direct forward (no queue/cache) at each batch
+// size — the per-batch cost a serving worker pays.
+type precisionSection struct {
+	GateMaxDelta float64         `json:"gate_max_delta"`
+	Sweep        int             `json:"sweep"`
+	Batches      []int           `json:"batches"`
+	Tiers        []precisionTier `json:"tiers"`
+}
+
 // serveBenchReport is the results/BENCH_serving.json schema.
 type serveBenchReport struct {
 	Dataset    string `json:"dataset"`
@@ -68,6 +104,9 @@ type serveBenchReport struct {
 	Tracing traceBench   `json:"tracing"`
 	// Admission records what overloaded clients see (503 + Retry-After).
 	Admission *admissionBench `json:"admission,omitempty"`
+	// Precision is the compiled-inference trajectory: f64 vs f32 vs int8
+	// forward latency/throughput with the accuracy-delta gate verdicts.
+	Precision *precisionSection `json:"precision,omitempty"`
 	// Cluster, Failover, and ClusterTracing are the -cluster router
 	// experiments: scaling efficiency over 1/2/4 replicas, the mid-bench
 	// replica kill, and the distributed-tracing overhead comparison.
@@ -145,7 +184,84 @@ func runServeBench(m *core.Model, testX *tensor.Matrix, calls int) (*serveBenchR
 		return nil, err
 	}
 	rep.Admission = adm
+
+	prec, err := benchPrecision(m, testX, calls)
+	if err != nil {
+		return nil, err
+	}
+	rep.Precision = prec
 	return rep, nil
+}
+
+// benchPrecision measures the precision trajectory: each tier's direct
+// batched forward (the path a serving worker runs per flush) at batch sizes
+// 1/8/64, with the accuracy-delta gate evaluated exactly as serving would.
+// The f64 tier is the legacy exact forward; f32/int8 run the compiled fused
+// plan when their gate passes and fall back to the f64 forward — recorded as
+// such — when it does not.
+func benchPrecision(m *core.Model, testX *tensor.Matrix, calls int) (*precisionSection, error) {
+	gc := infer.GateConfig{Seed: 1}.WithDefaults()
+	sec := &precisionSection{
+		GateMaxDelta: gc.MaxQErrP99Delta,
+		Sweep:        gc.Sweep,
+		Batches:      []int{1, 8, 64},
+	}
+	baseP50 := map[int]float64{}
+	for _, tier := range []infer.Precision{infer.PrecisionF64, infer.PrecisionF32, infer.PrecisionInt8} {
+		plan, gate, err := infer.Compile(m, tier, gc)
+		if err != nil {
+			return nil, err
+		}
+		forward := m.EstimateAllTausBatch
+		if plan != nil {
+			forward = plan.EstimateAllTausBatch
+		}
+		pt := precisionTier{
+			Tier:           string(tier),
+			Served:         string(gate.Tier),
+			GatePass:       gate.Pass,
+			QErrP99Delta:   gate.QErrP99Delta,
+			MonoViolations: gate.MonoViolations,
+			Reason:         gate.Reason,
+		}
+		for _, batch := range sec.Batches {
+			xs := tensor.NewMatrix(batch, m.InDim)
+			for r := 0; r < batch; r++ {
+				copy(xs.Row(r), testX.Row(r%testX.Rows))
+			}
+			iters := calls / batch
+			if iters < 50 {
+				iters = 50
+			}
+			for i := 0; i < iters/10+1; i++ { // warmup
+				forward(xs)
+			}
+			lats := make([]float64, 0, iters)
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				c0 := time.Now()
+				forward(xs)
+				lats = append(lats, float64(time.Since(c0).Nanoseconds())/1e3)
+			}
+			total := time.Since(t0).Seconds()
+			st := summarize(lats)
+			p := precisionPoint{
+				Batch: batch,
+				P50Us: st.P50Micros,
+				P99Us: st.P99Micros,
+				QPS:   float64(iters*batch) / total,
+			}
+			if tier == infer.PrecisionF64 {
+				baseP50[batch] = p.P50Us
+				p.SpeedupP50 = 1
+			} else if base := baseP50[batch]; base > 0 && p.P50Us > 0 {
+				p.SpeedupP50 = base / p.P50Us
+			}
+			pt.Points = append(pt.Points, p)
+		}
+		sec.Tiers = append(sec.Tiers, pt)
+	}
+	return sec, nil
 }
 
 // benchTracing drives two otherwise-identical engines — one with per-request

@@ -41,6 +41,7 @@ import (
 var docPackages = []string{
 	"internal/checkpoint",
 	"internal/cluster",
+	"internal/infer",
 	"internal/serving",
 	"internal/obs",
 	"internal/obs/monitor",

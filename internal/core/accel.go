@@ -68,16 +68,37 @@ func (a *accelEncoder) Forward(xp *tensor.Matrix, train bool) *tensor.Matrix {
 
 // ForwardCtx is Forward through a per-shard context (nil = legacy layer
 // caches), letting concurrent training shards share one Φ′ instance.
+//
+// All transients — the scatter target z, each hidden activation, each head
+// output zj — come from Ctx.Scratch, so a caller that reuses a context (the
+// pooled inference contexts in this package) runs the whole pass without
+// allocating; a nil context degrades to per-call allocation as before. Every
+// scratch buffer is fully overwritten before it is read: z's regions cover
+// all zDim columns, and the dense products write every output element.
 func (a *accelEncoder) ForwardCtx(c *nn.Ctx, xp *tensor.Matrix, train bool) *tensor.Matrix {
 	accelForwards.Inc()
 	b := xp.Rows
-	z := tensor.NewMatrix(b*a.tauCount, a.zDim)
+	z := c.Scratch(a, "z", b*a.tauCount, a.zDim)
 	h := xp
 	col := 0
 	for j := range a.layers {
-		h = a.acts[j].ForwardCtx(c, a.layers[j].ForwardCtx(c, h, train), train)
+		var zj *tensor.Matrix // B × tauCount·w
+		if train {
+			h = a.acts[j].ForwardCtx(c, a.layers[j].ForwardCtx(c, h, true), true)
+			zj = a.heads[j].ForwardCtx(c, h, true)
+		} else {
+			// Inference: dense product into scratch, ReLU applied in place
+			// (bit-identical to the activation layer, which only clamps
+			// negatives), head product into scratch.
+			h = a.layers[j].ForwardInto(h, c.Scratch(a.layers[j], "h", b, a.layers[j].Out))
+			for i, v := range h.Data {
+				if v < 0 {
+					h.Data[i] = 0
+				}
+			}
+			zj = a.heads[j].ForwardInto(h, c.Scratch(a.heads[j], "zj", b, a.heads[j].Out))
+		}
 		w := a.regions[j]
-		zj := a.heads[j].ForwardCtx(c, h, train) // B × tauCount·w
 		for e := 0; e < b; e++ {
 			src := zj.Row(e)
 			for i := 0; i < a.tauCount; i++ {
@@ -106,7 +127,8 @@ func (a *accelEncoder) BackwardCtx(c *nn.Ctx, dz *tensor.Matrix) *tensor.Matrix 
 	for j := len(a.layers) - 1; j >= 0; j-- {
 		w := a.regions[j]
 		col -= w
-		dzj := tensor.NewMatrix(b, a.tauCount*w)
+		// Scratch-backed and fully overwritten by the gather loop below.
+		dzj := c.Scratch(a.heads[j], "dzj", b, a.tauCount*w)
 		for e := 0; e < b; e++ {
 			dst := dzj.Row(e)
 			for i := 0; i < a.tauCount; i++ {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,16 @@ var (
 	estBatchCalls   = obs.Default.Counter("core.estimate_batch.calls")
 	estBatchRows    = obs.Default.Counter("core.estimate_batch.rows")
 )
+
+// inferCtxs pools inference contexts across estimate calls. An inference
+// forward writes no training caches or gradients into its context — only
+// Ctx.Scratch buffers — so a pooled context makes the fused-encoder
+// transients (z, per-layer activations, head outputs) reusable across calls:
+// steady-state serving forwards on the CardNet-A path allocate nothing on
+// that path. Safe because every scratch buffer is fully overwritten per
+// forward and nothing read from a returned fwd (the freshly allocated c/pre
+// matrices) aliases the context.
+var inferCtxs = sync.Pool{New: func() any { return nn.NewCtx() }}
 
 // monoSampleEvery sets the monotonicity spot-check rate on the estimate
 // path: one in every monoSampleEvery instrumented calls re-validates the
@@ -128,6 +139,20 @@ type fwd struct {
 // latent so the model satisfies Lemma 2's determinism requirement.
 func (m *Model) forward(x *tensor.Matrix, train bool, rng *rand.Rand) *fwd {
 	return m.forwardCtx(nil, x, train, rng)
+}
+
+// inferForward is the inference forward through a pooled context, so repeat
+// calls reuse the fused-encoder scratch buffers instead of reallocating them.
+// The context is returned to the pool before the fwd is consumed, which is
+// safe because callers only read the freshly allocated c/pre matrices — f.z
+// may alias pooled scratch and must not be read after this returns. Results
+// are bit-identical to forward(x, false, nil): contexts only change where
+// transients live, never the arithmetic or its order.
+func (m *Model) inferForward(x *tensor.Matrix) *fwd {
+	ctx := inferCtxs.Get().(*nn.Ctx)
+	f := m.forwardCtx(ctx, x, false, nil)
+	inferCtxs.Put(ctx)
+	return f
 }
 
 // forwardCtx is forward with training-mode activation caches kept in ctx
@@ -265,7 +290,7 @@ func (m *Model) EstimateEncoded(x []float64, tau int) float64 {
 		tm = obs.StartTimer(estLatency)
 	}
 	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
-	f := m.forward(xm, false, nil)
+	f := m.inferForward(xm)
 	var sum float64
 	for i := 0; i <= tau; i++ {
 		sum += f.c.At(0, i)
@@ -323,7 +348,7 @@ func (m *Model) EstimateAllTaus(x []float64) []float64 {
 		tm = obs.StartTimer(estAllLatency)
 	}
 	xm := &tensor.Matrix{Rows: 1, Cols: len(x), Data: x}
-	f := m.forward(xm, false, nil)
+	f := m.inferForward(xm)
 	out := make([]float64, m.tauCount())
 	var sum float64
 	for i := range out {
@@ -368,7 +393,7 @@ func (m *Model) EstimateAllTausBatch(xs *tensor.Matrix) *tensor.Matrix {
 	out := tensor.NewMatrix(xs.Rows, t)
 	var c0 []float64 // decoder outputs of row 0, for the monotonicity spot check
 	tensor.ParallelRows(xs.Rows, estMinShardRows, func(lo, hi int) {
-		f := m.forward(xs.RowSlice(lo, hi), false, nil)
+		f := m.inferForward(xs.RowSlice(lo, hi))
 		for e := lo; e < hi; e++ {
 			crow := f.c.Row(e - lo)
 			row := out.Row(e)
@@ -412,7 +437,7 @@ func (m *Model) EstimateEncodedBatch(xs *tensor.Matrix, taus []int) []float64 {
 	out := make([]float64, xs.Rows)
 	var c0 []float64
 	tensor.ParallelRows(xs.Rows, estMinShardRows, func(lo, hi int) {
-		f := m.forward(xs.RowSlice(lo, hi), false, nil)
+		f := m.inferForward(xs.RowSlice(lo, hi))
 		for e := lo; e < hi; e++ {
 			tau := taus[e]
 			if tau < 0 {

@@ -16,13 +16,18 @@ import "cardnet/internal/tensor"
 // sequential trainer (Workers ≤ 1) passes nil, which is what keeps it
 // bit-identical to the pre-parallel implementation.
 type Ctx struct {
-	caches map[any]any
-	grads  map[*Param][]float64
+	caches  map[any]any
+	grads   map[*Param][]float64
+	scratch map[scratchKey]*tensor.Matrix
 }
 
 // NewCtx returns an empty context.
 func NewCtx() *Ctx {
-	return &Ctx{caches: make(map[any]any), grads: make(map[*Param][]float64)}
+	return &Ctx{
+		caches:  make(map[any]any),
+		grads:   make(map[*Param][]float64),
+		scratch: make(map[scratchKey]*tensor.Matrix),
+	}
 }
 
 // put stores a layer's activation cache under the layer's identity.
@@ -31,6 +36,41 @@ func (c *Ctx) put(layer, cache any) { c.caches[layer] = cache }
 // get fetches a layer's activation cache (nil if the layer never ran a
 // training forward through this context).
 func (c *Ctx) get(layer any) any { return c.caches[layer] }
+
+// scratchKey identifies one Scratch buffer: the owning layer (or any other
+// comparable identity) plus a tag distinguishing the buffers one owner needs.
+// Scratch buffers live in their own typed map — separate from the activation
+// caches — so lookups never box the key into an interface (the map[any]any
+// would allocate per access, defeating the allocation-free forward).
+type scratchKey struct {
+	owner any
+	tag   string
+}
+
+// Scratch returns a rows×cols matrix cached in the context under
+// (owner, tag), allocating on first use and reusing (growing when needed) the
+// backing array afterwards. The contents are NOT zeroed on reuse — callers
+// must overwrite every element they read. On a nil context it degrades to a
+// fresh allocation, preserving the legacy path's behavior.
+//
+// This is what makes steady-state inference forwards allocation-free: the
+// serving layer pools contexts, and every transient the fused-encoder forward
+// used to allocate per call (the scatter target z, the per-layer head outputs
+// zj, backward's dzj) lives here instead.
+func (c *Ctx) Scratch(owner any, tag string, rows, cols int) *tensor.Matrix {
+	if c == nil {
+		return tensor.NewMatrix(rows, cols)
+	}
+	key := scratchKey{owner: owner, tag: tag}
+	if m, ok := c.scratch[key]; ok && cap(m.Data) >= rows*cols {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+		return m
+	}
+	m := tensor.NewMatrix(rows, cols)
+	c.scratch[key] = m
+	return m
+}
 
 // GradOf returns the gradient buffer for p in this context, allocating a
 // zeroed one on first use. On a nil context it returns p.Grad itself, so

@@ -35,6 +35,13 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 
+	// wm is a reusable Out×In matrix header over W.Value, valid for the
+	// layer's lifetime because parameter updates and snapshot restores write
+	// into the slice in place. Handing out &wm instead of a fresh header
+	// keeps the inference forward allocation-free (a per-call header escapes
+	// to the heap through the kernel call).
+	wm tensor.Matrix
+
 	x *tensor.Matrix // cached input
 }
 
@@ -42,11 +49,18 @@ type Dense struct {
 func NewDense(rng *rand.Rand, in, out int) *Dense {
 	d := &Dense{In: in, Out: out, W: newParam("W", in*out), B: newParam("b", out)}
 	tensor.GlorotUniform(rng, d.W.Value, in, out)
+	d.wm = tensor.Matrix{Rows: out, Cols: in, Data: d.W.Value}
 	return d
 }
 
 func (d *Dense) weightMatrix() *tensor.Matrix {
-	return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Value}
+	if d.wm.Data == nil {
+		// Hand-assembled Dense (tests build these around borrowed Params):
+		// fall back to a fresh header rather than caching one lazily, which
+		// would race under concurrent inference.
+		return &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.Value}
+	}
+	return &d.wm
 }
 
 // Forward computes x·Wᵀ + b. The input is cached for Backward only in
@@ -69,6 +83,16 @@ func (d *Dense) ForwardCtx(c *Ctx, x *tensor.Matrix, train bool) *tensor.Matrix 
 	y := tensor.PMatMulABT(x, d.weightMatrix(), nil)
 	tensor.AddBias(y, d.B.Value)
 	return y
+}
+
+// ForwardInto computes x·Wᵀ + b into out, which must be preallocated as
+// x.Rows×d.Out and is fully overwritten. It records no activation cache, so
+// it is inference-only; paired with Ctx.Scratch buffers it is what keeps the
+// serving forward free of per-call allocations.
+func (d *Dense) ForwardInto(x, out *tensor.Matrix) *tensor.Matrix {
+	tensor.PMatMulABT(x, d.weightMatrix(), out)
+	tensor.AddBias(out, d.B.Value)
+	return out
 }
 
 // Backward accumulates dW = dYᵀ·X, dB = colsums(dY) and returns dX = dY·W.

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cardnet/internal/infer"
 	"cardnet/internal/obs"
 	"cardnet/internal/tensor"
 )
@@ -37,6 +39,19 @@ type Config struct {
 	// monotonicity validator here. The callback must not retain the slice and
 	// must be cheap: it runs on the batch worker's hot path.
 	CurveCheck func(curve []float64)
+	// Precision selects the inference tier: "f64" (default) is the exact
+	// legacy forward; "f32" and "int8" serve through a compiled fused plan —
+	// but only after the accuracy-delta gate passes. A failed gate falls back
+	// to f64 (see Engine.Precision for the verdict).
+	Precision infer.Precision
+	// GateMaxDelta bounds the q-error p99 inflation a compiled tier may show
+	// versus f64 before it is refused (0 = infer.DefaultGateMaxDelta).
+	GateMaxDelta float64
+	// GateSweep is the number of validation queries the gate evaluates
+	// (0 = infer.DefaultGateSweep).
+	GateSweep int
+	// GateSeed seeds the gate's pseudo-random validation sweep.
+	GateSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheShards <= 0 {
 		c.CacheShards = 8
+	}
+	if c.Precision == "" {
+		c.Precision = infer.PrecisionF64
 	}
 	return c
 }
@@ -91,6 +109,7 @@ type Engine struct {
 	cfg   Config
 	reg   *Registry
 	cache *estimateCache
+	plan  atomic.Pointer[planState] // compiled precision plan (nil plan = f64)
 
 	q      chan *request
 	mu     sync.RWMutex // guards closed against concurrent submits
@@ -111,6 +130,12 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if e.cache != nil {
 		reg.OnSwap(e.cache.Invalidate)
 	}
+	// Lower the initial model to the configured precision tier, and re-lower
+	// on every hot swap. Relowering runs inside Swap after the new model is
+	// installed; until it publishes, batches see a version mismatch and serve
+	// through the exact f64 path.
+	e.relower()
+	reg.OnSwap(e.relower)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -308,7 +333,7 @@ func (e *Engine) run(batch []*request, batchStart time.Time, reason string) {
 	if e.cache != nil {
 		gen = e.cache.Gen() // before the model load: stale Puts must lose
 	}
-	m, _ := e.reg.Current()
+	m, ver := e.reg.Current()
 
 	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
@@ -348,7 +373,15 @@ func (e *Engine) run(batch []*request, batchStart time.Time, reason string) {
 	for i, r := range live {
 		copy(xs.Row(i), r.x)
 	}
-	all := m.EstimateAllTausBatch(xs)
+	// The compiled precision plan serves only when it was lowered from the
+	// exact model version this batch snapshotted; during the swap→relower
+	// window the versions differ and the batch takes the exact f64 path.
+	var all *tensor.Matrix
+	if ps := e.plan.Load(); ps != nil && ps.plan != nil && ps.version == ver {
+		all = ps.plan.EstimateAllTausBatch(xs)
+	} else {
+		all = m.EstimateAllTausBatch(xs)
+	}
 	fwdEnd := time.Now()
 	for _, r := range live {
 		if r.tr != nil {

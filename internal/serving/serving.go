@@ -21,6 +21,11 @@
 //     validates shape compatibility (InDim, TauMax) and replaces the model
 //     without failing in-flight requests — batches already formed finish on
 //     the model they started with.
+//   - Precision tiers: Config.Precision selects f64 (exact legacy forward),
+//     f32, or int8. Compiled tiers run the fused internal/infer plan,
+//     re-lowered on every swap, and serve only after the accuracy-delta gate
+//     passes (q-error p99 delta within bound, zero Lemma-2 monotonicity
+//     violations); a failed gate falls back to f64.
 //
 // Everything is instrumented on obs.Default under the "serving." prefix.
 package serving
@@ -89,6 +94,9 @@ var (
 	mCacheSize     = obs.Default.Gauge("serving.cache.size")
 	mSwaps         = obs.Default.Counter("serving.registry.swaps")
 	mVersion       = obs.Default.Gauge("serving.registry.version")
+
+	mPrecisionActive = obs.Default.Gauge("serving.precision.active_bits")
+	mGateFailures    = obs.Default.Counter("serving.precision.gate_failures")
 
 	mStageCache   = obs.Default.Histogram(StageHistName(StageCache), obs.TimeBuckets())
 	mStageQueue   = obs.Default.Histogram(StageHistName(StageQueueWait), obs.TimeBuckets())

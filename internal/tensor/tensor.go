@@ -104,6 +104,14 @@ func MatMul(a, b, out *Matrix) *Matrix {
 // must already be zeroed. The ikj loop order keeps the inner loop contiguous
 // in b and out. Row blocks are independent, so the parallel variant shards
 // this helper and stays bit-identical to the sequential kernel.
+//
+// The zero-skip below is deliberate and training/sparse-only: MatMul's
+// operands on the training path are binary feature rows and ReLU-gated
+// gradients, where entire inner sweeps vanish often enough to pay for the
+// test. On dense inference activations the skip almost never fires and the
+// data-dependent branch defeats the predictor; dense callers use the
+// branch-free MatMulDense (and the float32/int8 inference kernels, which
+// never zero-skip). BenchmarkZeroSkip measures the gap both ways.
 func matMulRows(a, b, out *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
