@@ -8,9 +8,9 @@ VERSION ?= dev
 GITSHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS = -X main.buildVersion=$(VERSION) -X main.buildSHA=$(GITSHA)
 
-.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer bench-obs bench-serving bench-train bench-kernels
+.PHONY: ci lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer race-autopilot bench-obs bench-serving bench-train bench-kernels bench-autopilot
 
-ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer
+ci: lint staticcheck vet build test docs-lint race-serving race-obs race-train race-cluster race-infer race-autopilot
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -75,6 +75,13 @@ race-infer:
 	$(GO) test -race -count=3 ./internal/infer -run 'Concurrent|Plan|Gate'
 	$(GO) test -race -count=3 ./internal/serving -run 'Precision|GateFallback|SwapRelowers'
 
+# Stress the autopilot's closed loop under the race detector: the full
+# drift → retrain → shadow → swap cycle, mid-retrain kill and resume, the
+# forced-regression reject, and the serve-layer E2E over live HTTP.
+race-autopilot:
+	$(GO) test -race -count=3 ./internal/autopilot
+	$(GO) test -race -count=2 ./cmd/cardnet -run 'Autopilot|HealthzShape'
+
 # Regenerate the instrumentation-overhead baseline (results/BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/cardnet -mode obsbench -dataset HM-ImageNet -n 1200 \
@@ -92,6 +99,13 @@ bench-serving:
 bench-train:
 	$(GO) run ./cmd/cardnet -mode trainbench -dataset HM-ImageNet -n 1200 \
 		-benchepochs 8 -benchout results/BENCH_train.json
+
+# Regenerate the closed-loop baseline (results/BENCH_autopilot.json): trigger
+# latency over the dwell window, shadow-tap overhead on the all-τ estimate
+# path, and client-visible downtime across the hot swap (must be 0 errors).
+bench-autopilot:
+	$(GO) run ./cmd/cardnet -mode autopilotbench -dataset HM-ImageNet -n 1200 \
+		-calls 1500 -benchout results/BENCH_autopilot.json
 
 # Kernel-level GFLOP/s table for the inference fast path: the f64/f32/int8
 # ABT kernels, int8 activation quantization, and the zero-skip-vs-branch-free

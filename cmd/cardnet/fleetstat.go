@@ -90,7 +90,7 @@ func buildFleetRow(first, second obs.RemoteSnapshot, hz map[string]any, interval
 	row.up = true
 	row.health = healthzString(hz, "status")
 	row.sloState = healthzString(hz, "slo")
-	row.drift = healthzString(hz, "drift")
+	row.drift = healthzNestedString(hz, "drift", "status")
 	row.version = healthzString(hz, "version")
 	if sha := healthzString(hz, "git_sha"); sha != "-" && len(sha) > 8 {
 		sha = sha[:8]
@@ -123,6 +123,19 @@ func healthzString(hz map[string]any, key string) string {
 		return s
 	}
 	return "-"
+}
+
+// healthzNestedString reads the sub-field of a nested healthz block
+// (`"<subsystem>": {"status": ...}`), falling back to a flat string at key
+// for replicas from before the blocks were unified.
+func healthzNestedString(hz map[string]any, key, sub string) string {
+	if m, ok := hz[key].(map[string]any); ok {
+		if s, ok := m[sub].(string); ok && s != "" {
+			return s
+		}
+		return "-"
+	}
+	return healthzString(hz, key)
 }
 
 // histDelta extracts a histogram's per-bucket counts over the interval

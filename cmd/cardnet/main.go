@@ -15,6 +15,7 @@
 //	cardnet -mode obsbench -dataset HM-ImageNet -benchout results/BENCH_obs.json
 //	cardnet -mode servebench -dataset HM-ImageNet -benchout results/BENCH_serving.json
 //	cardnet -mode trainbench -dataset HM-ImageNet -benchout results/BENCH_train.json
+//	cardnet -mode autopilotbench -dataset HM-ImageNet -benchout results/BENCH_autopilot.json
 //
 // Train and update write a per-epoch JSONL training log (default
 // <model>.train.jsonl; -trainlog off disables) and durable checkpoints
@@ -45,7 +46,10 @@
 // scaling efficiency vs. replica count plus a mid-bench replica-kill failover
 // run); trainbench sweeps the
 // data-parallel training engine over worker counts and records epoch/total
-// speedups plus tensor-kernel GFLOP/s.
+// speedups plus tensor-kernel GFLOP/s. Autopilotbench drives one full
+// closed-loop cycle (drift → retrain → shadow → swap) against a live engine
+// and records trigger latency, shadow-tap overhead, and client-visible swap
+// downtime.
 package main
 
 import (
@@ -58,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"cardnet/internal/autopilot"
 	"cardnet/internal/bench"
 	"cardnet/internal/checkpoint"
 	"cardnet/internal/cluster"
@@ -83,7 +88,7 @@ var (
 
 func main() {
 	log.SetFlags(0)
-	mode := flag.String("mode", "train", "train | estimate | update | serve | router | tracescan | fleetstat | obsbench | servebench | trainbench")
+	mode := flag.String("mode", "train", "train | estimate | update | serve | router | tracescan | fleetstat | obsbench | servebench | trainbench | autopilotbench")
 	dsName := flag.String("dataset", "HM-ImageNet", "dataset name from the Table 2 registry")
 	modelPath := flag.String("model", "cardnet-model.gob", "model file (input for estimate/update/serve, output for train)")
 	n := flag.Int("n", 1200, "dataset size")
@@ -106,6 +111,16 @@ func main() {
 	traceRate := flag.Float64("trace-sample-rate", 0.01, "serve/router: fraction of requests whose traces are written to -tracelog")
 	traceLog := flag.String("tracelog", "off", `serve/router: JSONL request-trace log path ("off" = disabled)`)
 	auditRate := flag.Float64("audit-sample-rate", 0, "serve: fraction of estimates replayed against the exact oracle (Hamming datasets only; 0 = off)")
+	autopilotOn := flag.Bool("autopilot", false, "serve: close the drift loop autonomously (drift -> incremental retrain -> shadow-eval -> hot swap); needs the exact oracle, so Hamming datasets only")
+	autopilotDwell := flag.Duration("autopilot-dwell", 30*time.Second, "serve: how long drift must stay retrain-recommended before the autopilot triggers")
+	autopilotCooldown := flag.Duration("autopilot-cooldown", 5*time.Minute, "serve: rest period after an autopilot swap or reject before it re-arms")
+	autopilotMinSamples := flag.Int("autopilot-min-samples", 64, "serve: distinct feedback/audit queries the autopilot needs before retraining")
+	autopilotShadowRate := flag.Float64("autopilot-shadow-rate", 0.25, "serve: fraction of live batches dual-run through the candidate during shadow evaluation")
+	autopilotShadowMin := flag.Int("autopilot-shadow-min", 256, "serve: live rows the shadow comparison scores before a swap/reject verdict")
+	autopilotShadowTimeout := flag.Duration("autopilot-shadow-timeout", 2*time.Minute, "serve: shadow-phase bound; too little traffic by then rejects the candidate")
+	autopilotWorkers := flag.Int("autopilot-workers", 1, "serve: data-parallel shards for autopilot retrains (1 = sequential, least disruptive to serving)")
+	autopilotDir := flag.String("autopilot-dir", "", `serve: autopilot staging directory for candidate checkpoints ("" = <model>.autopilot)`)
+	autopilotJournal := flag.String("autopilot-journal", "", `serve: JSONL autopilot decision-journal path ("" = <model>.autopilot.jsonl, "off" = disabled)`)
 	resume := flag.Bool("resume", false, "train/update: continue from the newest checkpoint in -ckpt-dir (same dataset flags required)")
 	ckptDir := flag.String("ckpt-dir", "", `train/update: checkpoint directory ("" = <model>.ckpt, "off" = disable checkpointing)`)
 	ckptEvery := flag.Int("ckpt-every", 1, "train/update: write a checkpoint every N epochs")
@@ -317,14 +332,15 @@ func main() {
 			}
 			log.Printf("writing sampled request traces to %s", *traceLog)
 		}
-		if *auditRate > 0 {
+		if *auditRate > 0 || *autopilotOn {
 			if oracle := buildAuditOracle(spec, *n, m.InDim); oracle != nil {
 				opts.oracle = oracle
 				opts.auditRate = *auditRate
 			}
 		}
 		closeSLOLog := func() {}
-		opts.slo, opts.capturer, closeSLOLog = buildTelemetry(telemetrySettings{
+		var sloSink *obs.Sink
+		opts.slo, opts.capturer, sloSink, closeSLOLog = buildTelemetry(telemetrySettings{
 			latencyBound:    sloLatency.Seconds(),
 			latencyTarget:   *sloLatencyTarget,
 			availTarget:     *sloAvailTarget,
@@ -338,9 +354,46 @@ func main() {
 			profileCPU:      *profileCPU,
 			profileP99:      profileP99.Seconds(),
 		})
+		closeAutopilotJournal := func() {}
+		if *autopilotOn {
+			if opts.oracle == nil {
+				log.Fatalf("-autopilot needs the exact audit oracle for ground-truth labels (Hamming datasets with matching dimensions only)")
+			}
+			cfg := autopilot.Config{
+				Dir:           resolveAutopilotDir(*autopilotDir, *modelPath),
+				Dwell:         *autopilotDwell,
+				Cooldown:      *autopilotCooldown,
+				MinSamples:    *autopilotMinSamples,
+				TrainWorkers:  *autopilotWorkers,
+				CkptEvery:     *ckptEvery,
+				CkptRetain:    *ckptRetain,
+				ShadowRate:    *autopilotShadowRate,
+				ShadowMin:     *autopilotShadowMin,
+				ShadowTimeout: *autopilotShadowTimeout,
+				GateSweep:     *precisionGateSweep,
+				GateSeed:      *seed,
+				PublishPath:   *modelPath,
+				SLOSink:       sloSink,
+			}
+			if path := resolveAutopilotJournal(*autopilotJournal, *modelPath); path != "" {
+				sink, err := obs.NewFileSink(path)
+				if err != nil {
+					log.Fatalf("open autopilot journal: %v", err)
+				}
+				cfg.Journal = sink
+				closeAutopilotJournal = func() {
+					if err := sink.Close(); err != nil {
+						log.Printf("close autopilot journal: %v", err)
+					}
+				}
+				log.Printf("writing autopilot decisions to %s", path)
+			}
+			opts.autopilotCfg = &cfg
+		}
 		err := runServe(m, *addr, serveCfg, opts)
 		closeTraces()
 		closeSLOLog()
+		closeAutopilotJournal()
 		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
@@ -478,6 +531,32 @@ func main() {
 					run.TracesAssembled, run.TracesJoined, run.TilingViolations, run.SamplerDropped)
 			}
 		}
+	case "autopilotbench":
+		b := buildBundle()
+		rep, err := runAutopilotBench(b.TestX, b.TauMax, *benchCalls, *accel, *seed)
+		if err != nil {
+			log.Fatalf("autopilotbench: %v", err)
+		}
+		rep.Dataset = *dsName
+		rep.Records = *n
+		out := *benchOut
+		if out == "results/BENCH_obs.json" { // flag default belongs to obsbench
+			out = "results/BENCH_autopilot.json"
+		}
+		if err := rep.write(out); err != nil {
+			log.Fatalf("autopilotbench: %v", err)
+		}
+		log.Printf("trigger  : %.1fms observed (dwell %.0fms, excess %.1fms)",
+			rep.TriggerLatencyMillis, rep.DwellMillis, rep.TriggerExcessMillis)
+		log.Printf("retrain  : %.2fs   shadow: %.2fs   full cycle: %.2fs",
+			rep.TrainSeconds, rep.ShadowSeconds, rep.CycleSeconds)
+		log.Printf("shadow tap: p50 %+.2f%% p99 %+.2f%% (on %.0fus/%.0fus, off %.0fus/%.0fus)",
+			rep.OverheadP50Pct, rep.OverheadP99Pct,
+			rep.ShadowOn.P50Micros, rep.ShadowOn.P99Micros,
+			rep.ShadowOff.P50Micros, rep.ShadowOff.P99Micros)
+		log.Printf("swap     : %d client calls, %d errors, max stall %.0fus, version %d -> %d -> %s",
+			rep.Swap.ClientCalls, rep.Swap.ClientErrors, rep.Swap.MaxStallMicro,
+			rep.Swap.VersionBefore, rep.Swap.VersionAfter, out)
 	case "trainbench":
 		b := buildBundle()
 		rep := runTrainBench(b, *accel, *seed, *benchEpochs)
@@ -524,6 +603,28 @@ func resolveCkptDir(flagVal, modelPath string) string {
 		return ""
 	case "":
 		return modelPath + ".ckpt"
+	default:
+		return flagVal
+	}
+}
+
+// resolveAutopilotDir maps -autopilot-dir to the staging directory the pilot
+// checkpoints candidates into ("" puts it next to the model file).
+func resolveAutopilotDir(flagVal, modelPath string) string {
+	if flagVal == "" {
+		return modelPath + ".autopilot"
+	}
+	return flagVal
+}
+
+// resolveAutopilotJournal maps -autopilot-journal to a JSONL path ("" puts it
+// next to the model file, "off" disables and returns "").
+func resolveAutopilotJournal(flagVal, modelPath string) string {
+	switch flagVal {
+	case "off":
+		return ""
+	case "":
+		return modelPath + ".autopilot.jsonl"
 	default:
 		return flagVal
 	}

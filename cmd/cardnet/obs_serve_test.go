@@ -263,7 +263,7 @@ func TestFeedbackDriftTransition(t *testing.T) {
 		t.Fatalf("EWMA too low after drift: %+v", d)
 	}
 
-	// /healthz surfaces the same verdict.
+	// /healthz surfaces the same verdict inside the nested drift block.
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -273,8 +273,15 @@ func TestFeedbackDriftTransition(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if hz["drift"] != monitor.StatusRetrain {
-		t.Fatalf("healthz drift: %+v", hz)
+	dr, ok := hz["drift"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz drift is not a nested block: %+v", hz)
+	}
+	if dr["status"] != monitor.StatusRetrain {
+		t.Fatalf("healthz drift: %+v", dr)
+	}
+	if lvl, _ := dr["level"].(float64); lvl != 2 {
+		t.Fatalf("healthz drift level = %v, want 2", dr["level"])
 	}
 }
 

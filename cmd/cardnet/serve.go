@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"cardnet/internal/autopilot"
 	"cardnet/internal/core"
 	"cardnet/internal/infer"
 	"cardnet/internal/obs"
@@ -68,6 +69,14 @@ type serveOptions struct {
 	capturer    *profcap.Capturer // triggered pprof capture (nil → off)
 	peers       []string          // peer /metrics URLs for /metrics/federate
 	obsInterval time.Duration     // runtime sampler cadence (0 → default 10s)
+
+	pilot *autopilot.Pilot // closed-loop retrain pilot (nil → off)
+
+	// autopilotCfg, when non-nil, makes runServe build and start a pilot over
+	// the engine it creates (newServeMux callers that already have an engine
+	// construct their own pilot and set the pilot field directly). The labeler
+	// comes from the audit oracle: the pilot needs ground truth to retrain on.
+	autopilotCfg *autopilot.Config
 }
 
 // defaultSLOTracker builds an unstarted tracker over the default serving
@@ -113,6 +122,23 @@ func runServe(m *core.Model, addr string, scfg serving.Config, opts serveOptions
 	reg := serving.NewRegistry(m)
 	reg.OnSwap(opts.mon.ResetBaseline)
 	eng := serving.NewEngine(reg, scfg)
+
+	// The autopilot closes the drift loop over this engine: it needs the
+	// audit oracle for ground-truth labels, so -autopilot without an oracle
+	// was already rejected in main.
+	if opts.autopilotCfg != nil {
+		pilot, err := autopilot.New(*opts.autopilotCfg, eng, opts.mon, oracleLabeler(opts.oracle))
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		opts.pilot = pilot
+		pilot.Start()
+		defer pilot.Close()
+		log.Printf("autopilot: staging in %s, dwell %s, cooldown %s, shadow rate %g (min %d rows)",
+			opts.autopilotCfg.Dir, opts.autopilotCfg.Dwell, opts.autopilotCfg.Cooldown,
+			opts.autopilotCfg.ShadowRate, opts.autopilotCfg.ShadowMin)
+	}
 
 	// Telemetry rides the engine's lifecycle: runtime sampling and SLO
 	// evaluation start before the listener and stop after drain, so shutdown
@@ -181,12 +207,13 @@ func newServeMux(eng *serving.Engine, opts serveOptions) *http.ServeMux {
 	if opts.slo == nil {
 		opts.slo = defaultSLOTracker()
 	}
-	aud := newAuditor(opts.oracle, opts.mon, opts.auditRate)
+	aud := newAuditor(opts.oracle, opts.mon, opts.auditRate, opts.pilot)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", instrument("http.estimate", handleEstimate(eng, opts.sampler, aud)))
-	mux.HandleFunc("/feedback", instrument("http.feedback", handleFeedback(eng, opts.mon)))
+	mux.HandleFunc("/feedback", instrument("http.feedback", handleFeedback(eng, opts.mon, opts.pilot)))
 	mux.HandleFunc("/admin/reload", instrument("http.reload", handleReload(eng)))
-	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng, opts.mon, opts.slo)))
+	mux.HandleFunc("/admin/autopilot", instrument("http.autopilot", handleAutopilot(opts.pilot)))
+	mux.HandleFunc("/healthz", instrument("http.healthz", handleHealthz(eng, opts.mon, opts.slo, opts.pilot)))
 	mux.HandleFunc("/drift", instrument("http.drift", handleDrift(eng, opts.mon)))
 	mux.HandleFunc("/slo", instrument("http.slo", handleSLO(opts.slo)))
 	mux.HandleFunc("/metrics", handleMetrics)
@@ -304,6 +331,7 @@ func handleEstimate(eng *serving.Engine, sampler *obs.TraceSampler, aud *auditor
 type auditor struct {
 	oracle *simselect.EncodedOracle
 	mon    *monitor.Monitor
+	pilot  *autopilot.Pilot // audited queries double as retrain samples
 	every  uint64
 	seq    atomic.Uint64
 	sem    chan struct{}
@@ -312,7 +340,7 @@ type auditor struct {
 // newAuditor returns nil (auditing off) unless an oracle, a monitor, and a
 // rate in (0, 1] are all present. Like the trace sampler, sampling is
 // counter-based: 1 in round(1/rate) estimates.
-func newAuditor(oracle *simselect.EncodedOracle, mon *monitor.Monitor, rate float64) *auditor {
+func newAuditor(oracle *simselect.EncodedOracle, mon *monitor.Monitor, rate float64, pilot *autopilot.Pilot) *auditor {
 	if oracle == nil || mon == nil || rate <= 0 || rate > 1 {
 		return nil
 	}
@@ -320,7 +348,7 @@ func newAuditor(oracle *simselect.EncodedOracle, mon *monitor.Monitor, rate floa
 	if every < 1 {
 		every = 1
 	}
-	return &auditor{oracle: oracle, mon: mon, every: every, sem: make(chan struct{}, 4)}
+	return &auditor{oracle: oracle, mon: mon, pilot: pilot, every: every, sem: make(chan struct{}, 4)}
 }
 
 // observe maybe replays one served estimate. Nil-safe; never blocks the
@@ -344,6 +372,9 @@ func (a *auditor) observe(x []float64, tau int, estimate float64) {
 			return
 		}
 		a.mon.Record(float64(actual), estimate, monitor.Audit)
+		if a.pilot != nil {
+			a.pilot.Observe(x, tau)
+		}
 	}()
 }
 
@@ -421,7 +452,7 @@ type feedbackRequest struct {
 	Actual *float64  `json:"actual"`
 }
 
-func handleFeedback(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc {
+func handleFeedback(eng *serving.Engine, mon *monitor.Monitor, pilot *autopilot.Pilot) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -454,6 +485,11 @@ func handleFeedback(eng *serving.Engine, mon *monitor.Monitor) http.HandlerFunc 
 			return
 		}
 		q := mon.Record(*req.Actual, est, monitor.Feedback)
+		if pilot != nil {
+			// Labelled feedback is exactly the traffic a retrain should fit:
+			// the caller ran the query for real.
+			pilot.Observe(req.X, *req.Tau)
+		}
 		writeJSON(w, map[string]any{
 			"estimate": est,
 			"actual":   *req.Actual,
@@ -524,12 +560,25 @@ func handleReload(eng *serving.Engine) http.HandlerFunc {
 	}
 }
 
-func handleHealthz(eng *serving.Engine, mon *monitor.Monitor, tracker *slo.Tracker) http.HandlerFunc {
+func handleHealthz(eng *serving.Engine, mon *monitor.Monitor, tracker *slo.Tracker, pilot *autopilot.Pilot) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		m, version := eng.Registry().Current()
-		writeJSON(w, map[string]any{
+		// Subsystem verdicts are nested objects of uniform shape — a "status"
+		// (or "state") verdict plus that subsystem's key numbers — matching
+		// the precision block, so fleet tooling indexes "<block>.status"
+		// instead of special-casing flat and nested keys per subsystem.
+		level, since := mon.LevelSince()
+		drift := map[string]any{
+			"status":              mon.Status().Status,
+			"level":               level,
+			"level_since_seconds": time.Since(since).Seconds(),
+		}
+		if since.IsZero() {
+			drift["level_since_seconds"] = 0.0
+		}
+		body := map[string]any{
 			"status":             "ok",
-			"drift":              mon.Status().Status,
+			"drift":              drift,
 			"slo":                tracker.State().String(),
 			"version":            buildVersion,
 			"git_sha":            buildSHA,
@@ -542,7 +591,60 @@ func handleHealthz(eng *serving.Engine, mon *monitor.Monitor, tracker *slo.Track
 			"model_version":      version,
 			"cache_entries":      eng.CacheLen(),
 			"precision":          eng.Precision(),
-		})
+		}
+		if pilot != nil {
+			body["autopilot"] = pilot.Status()
+		}
+		writeJSON(w, body)
+	}
+}
+
+// autopilotRequest is the POST /admin/autopilot body. Actions: "force" (arm
+// an immediate trigger, bypassing drift dwell), "inhibit" (pause autonomous
+// retrains and swaps), "resume" (lift an inhibit). GET returns the status.
+type autopilotRequest struct {
+	Action string `json:"action"`
+}
+
+func handleAutopilot(pilot *autopilot.Pilot) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if pilot == nil {
+			httpError(w, http.StatusNotFound, "autopilot not enabled (start with -autopilot)")
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+		case http.MethodPost:
+			var req autopilotRequest
+			body := http.MaxBytesReader(nil, r.Body, 1<<20)
+			if err := json.NewDecoder(body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+				return
+			}
+			switch req.Action {
+			case "force":
+				pilot.Force()
+			case "inhibit":
+				pilot.SetInhibited(true)
+			case "resume":
+				pilot.SetInhibited(false)
+			default:
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown action %q (want force, inhibit, or resume)", req.Action))
+				return
+			}
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+			return
+		}
+		writeJSON(w, pilot.Status())
+	}
+}
+
+// oracleLabeler adapts the audit oracle's exact curve scan to the autopilot's
+// Labeler contract.
+func oracleLabeler(o *simselect.EncodedOracle) autopilot.Labeler {
+	return func(x []float64, tauTop int) ([]float64, error) {
+		return o.CurveEncoded(x, tauTop)
 	}
 }
 

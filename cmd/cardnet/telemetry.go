@@ -33,8 +33,10 @@ type telemetrySettings struct {
 // page state captures a CPU+heap pair attributed "page", and (when a p99
 // threshold is set) a fast-window p99 breach captures one attributed "p99".
 // Every transition is logged; with -slolog it is also appended to a JSONL
-// sink whose close func is returned.
-func buildTelemetry(ts telemetrySettings) (*slo.Tracker, *profcap.Capturer, func()) {
+// sink whose close func is returned. The sink itself is returned too, so the
+// autopilot can mirror its swap/reject decisions into the same transition
+// stream (nil when -slolog is off).
+func buildTelemetry(ts telemetrySettings) (*slo.Tracker, *profcap.Capturer, *obs.Sink, func()) {
 	var profiler *profcap.Capturer
 	if ts.profileDir != "" && ts.profileDir != "off" {
 		var err error
@@ -87,7 +89,7 @@ func buildTelemetry(ts telemetrySettings) (*slo.Tracker, *profcap.Capturer, func
 			profiler.Trigger("p99")
 		}
 	}
-	return slo.New(cfg), profiler, closeLog
+	return slo.New(cfg), profiler, sink, closeLog
 }
 
 // splitPeers parses the -peers flag into base URLs: comma-separated

@@ -39,6 +39,7 @@ import (
 // docPackages are the directories whose exported identifiers must be
 // documented.
 var docPackages = []string{
+	"internal/autopilot",
 	"internal/checkpoint",
 	"internal/cluster",
 	"internal/infer",

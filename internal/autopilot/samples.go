@@ -1,0 +1,159 @@
+package autopilot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+
+	"cardnet/internal/core"
+	"cardnet/internal/tensor"
+)
+
+// sampleStore is a deduplicating ring of labelled live queries — the raw
+// material of a candidate retrain. /feedback bodies and audit replays feed
+// it; when the pilot triggers, Build turns the ring into a ground-truth-
+// labelled train/valid split. Duplicate encodings keep one slot (their τ and
+// recency refresh), so the ring measures distinct query coverage rather than
+// raw traffic volume.
+type sampleStore struct {
+	mu   sync.Mutex
+	cap  int
+	xs   [][]float64
+	taus []int
+	// index maps the FNV-64a of a row's float bits to its slot, for O(1)
+	// dedup; slots evicted from the ring leave the index with them.
+	index map[uint64]int
+	head  int // next eviction / insertion slot once full
+}
+
+func newSampleStore(capacity int) *sampleStore {
+	return &sampleStore{cap: capacity, index: make(map[uint64]int)}
+}
+
+func hashRow(x []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Observe records one labelled query; x is copied.
+func (s *sampleStore) Observe(x []float64, tau int) {
+	if len(x) == 0 {
+		return
+	}
+	key := hashRow(x)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.index[key]; ok {
+		s.taus[i] = tau
+		return
+	}
+	if len(s.xs) < s.cap {
+		s.index[key] = len(s.xs)
+		s.xs = append(s.xs, append([]float64(nil), x...))
+		s.taus = append(s.taus, tau)
+		return
+	}
+	// Ring is full: the slot at head is the oldest; evict it.
+	old := hashRow(s.xs[s.head])
+	delete(s.index, old)
+	s.index[key] = s.head
+	s.xs[s.head] = append([]float64(nil), x...)
+	s.taus[s.head] = tau
+	s.head = (s.head + 1) % s.cap
+}
+
+// Len reports how many distinct queries the ring holds.
+func (s *sampleStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// Reset empties the ring (after a decision: post-decision traffic should
+// describe the post-decision model).
+func (s *sampleStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.xs, s.taus = nil, nil
+	s.index = make(map[uint64]int)
+	s.head = 0
+}
+
+// Build labels every accumulated query with its full ground-truth cumulative
+// curve over τ ∈ [0, tauTop], derives the empirical τ distribution P from
+// the observed thresholds, and splits the rows into train and valid sets with
+// a seeded shuffle — deterministic for a given ring and seed, so the split a
+// resumed process rebuilds from the staged file hashes identically to the one
+// this call produced.
+func (s *sampleStore) Build(tauTop int, label Labeler, seed int64, validFrac float64) (train, valid *core.TrainSet, err error) {
+	s.mu.Lock()
+	xs := make([][]float64, len(s.xs))
+	copy(xs, s.xs)
+	taus := append([]int(nil), s.taus...)
+	s.mu.Unlock()
+
+	n := len(xs)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("autopilot: %d samples cannot form a train/valid split", n)
+	}
+	labels := tensor.NewMatrix(n, tauTop+1)
+	x := tensor.NewMatrix(n, len(xs[0]))
+	for i, row := range xs {
+		if len(row) != x.Cols {
+			return nil, nil, fmt.Errorf("autopilot: sample %d has %d features, expected %d", i, len(row), x.Cols)
+		}
+		curve, lerr := label(row, tauTop)
+		if lerr != nil {
+			return nil, nil, fmt.Errorf("autopilot: label sample %d: %w", i, lerr)
+		}
+		if len(curve) != tauTop+1 {
+			return nil, nil, fmt.Errorf("autopilot: labeler returned %d values, expected %d", len(curve), tauTop+1)
+		}
+		copy(x.Row(i), row)
+		copy(labels.Row(i), curve)
+	}
+
+	// Empirical P(τ) from the thresholds live traffic actually asked for —
+	// Section 6.2's P(τ) estimated from the drifted workload itself. Uniform
+	// fallback if every τ fell out of range.
+	p := make([]float64, tauTop+1)
+	total := 0
+	for _, tau := range taus {
+		if tau < 0 {
+			tau = 0
+		}
+		if tau > tauTop {
+			tau = tauTop
+		}
+		p[tau]++
+		total++
+	}
+	if total == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+	} else {
+		for i := range p {
+			p[i] /= float64(total)
+		}
+	}
+
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	nValid := int(float64(n) * validFrac)
+	if nValid < 1 {
+		nValid = 1
+	}
+	if nValid >= n {
+		nValid = n - 1
+	}
+	full := &core.TrainSet{X: x, Labels: labels, TauTop: tauTop, P: p}
+	return full.Subset(perm[nValid:]), full.Subset(perm[:nValid]), nil
+}

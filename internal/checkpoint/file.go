@@ -22,6 +22,8 @@ const (
 	KindTrainer = "TRNR"
 	// KindModel frames a gob-encoded model (core.Model.Save payload).
 	KindModel = "MODL"
+	// KindTrainSet frames a gob-encoded train/valid split (SaveTrainSet).
+	KindTrainSet = "TSET"
 )
 
 const (

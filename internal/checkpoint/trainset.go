@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"cardnet/internal/core"
+)
+
+// trainSetFile is the gob payload behind a KindTrainSet frame: the exact
+// train/valid split a retrain ran on, frozen together so resume verification
+// (core.TrainerState.DataHash) sees byte-identical data after a restart.
+type trainSetFile struct {
+	Train, Valid *core.TrainSet
+}
+
+// SaveTrainSet stages a train/valid split at path through the framed atomic
+// writer. The autopilot persists the split it built from feedback and audit
+// samples before starting a candidate retrain; a process that dies mid-retrain
+// can then resume from its latest trainer checkpoint against the very same
+// data instead of rebuilding a (different) set and failing the DataHash check.
+func SaveTrainSet(path string, train, valid *core.TrainSet) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(trainSetFile{Train: train, Valid: valid}); err != nil {
+		return fmt.Errorf("checkpoint: encode train set: %w", err)
+	}
+	return WriteFileAtomic(path, KindTrainSet, buf.Bytes())
+}
+
+// LoadTrainSet loads a split staged by SaveTrainSet, verifying the frame.
+func LoadTrainSet(path string) (train, valid *core.TrainSet, err error) {
+	payload, err := ReadFile(path, KindTrainSet)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f trainSetFile
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("%w: %s: decode train set: %v", ErrCorrupt, path, err)
+	}
+	if f.Train == nil || f.Train.X == nil || f.Train.Labels == nil {
+		return nil, nil, fmt.Errorf("%w: %s: train set frame missing training split", ErrCorrupt, path)
+	}
+	return f.Train, f.Valid, nil
+}

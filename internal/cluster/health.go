@@ -199,7 +199,7 @@ func (p *Prober) ProbeOnce(ctx context.Context) {
 			st.LastErr = ""
 			st.Fails = 0
 			st.Status = jsonString(hz[i].Doc, "status")
-			st.Drift = jsonString(hz[i].Doc, "drift")
+			st.Drift = jsonNestedString(hz[i].Doc, "drift", "status")
 			st.SLO = jsonString(hz[i].Doc, "slo")
 			if mv, ok := hz[i].Doc["model_version"].(float64); ok {
 				st.ModelVersion = uint64(mv)
@@ -253,4 +253,19 @@ func (p *Prober) Healthy() []string {
 func jsonString(doc map[string]any, key string) string {
 	s, _ := doc[key].(string)
 	return s
+}
+
+// jsonNestedString reads doc[key][sub] from a nested healthz block (the
+// uniform `"<subsystem>": {"status": ...}` shape). A flat string at key — an
+// older replica mid-rolling-upgrade — is accepted as the verdict itself.
+func jsonNestedString(doc map[string]any, key, sub string) string {
+	switch v := doc[key].(type) {
+	case map[string]any:
+		s, _ := v[sub].(string)
+		return s
+	case string:
+		return v
+	default:
+		return ""
+	}
 }

@@ -94,6 +94,36 @@ func qErrP99(got, want *tensor.Matrix) float64 {
 	return qs[idx]
 }
 
+// MonoSweep evaluates sweep seeded pseudo-random binary queries through m and
+// returns how many of the resulting τ-sweep curves violate Lemma 2
+// monotonicity (core.CurveMonotone). It is the model-level half of the gate
+// Compile runs on compiled plans: the autopilot runs it over every retrained
+// candidate before a swap, because incremental training preserves the
+// architecture's monotone construction but a verification sweep is what turns
+// that argument into a checked invariant (zero violations required to swap).
+// The sweep generation matches Compile's, so sweep/seed pairs are comparable
+// across both gates.
+func MonoSweep(m *core.Model, sweep int, seed int64) int {
+	if sweep <= 0 {
+		sweep = DefaultGateSweep
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := tensor.NewMatrix(sweep, m.InDim)
+	for i := range xs.Data {
+		if rng.Intn(2) == 1 {
+			xs.Data[i] = 1
+		}
+	}
+	all := m.EstimateAllTausBatch(xs)
+	violations := 0
+	for r := 0; r < all.Rows; r++ {
+		if !core.CurveMonotone(all.Row(r)) {
+			violations++
+		}
+	}
+	return violations
+}
+
 // Compile lowers m to the requested tier and runs the accuracy-delta gate: a
 // seeded pseudo-random binary query sweep is evaluated through both the exact
 // f64 model path and the compiled plan, and the plan is eligible only if the

@@ -20,6 +20,7 @@ package monitor
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"cardnet/internal/core"
 	"cardnet/internal/metrics"
@@ -85,6 +86,11 @@ type Monitor struct {
 
 	feedback uint64
 	audits   uint64
+
+	// Level-transition tracking for the autopilot's dwell-window trigger:
+	// curLevel is the most recent drift level, levelSince when it started.
+	curLevel   int
+	levelSince time.Time
 
 	// Curve checks are lock-free: counted straight into the registry.
 	monoChecks     *obs.Counter
@@ -164,6 +170,10 @@ func (m *Monitor) Record(actual, estimate float64, src Source) float64 {
 	}
 	ewma, base := m.ewma, m.baseline
 	level := m.levelLocked()
+	if level != m.curLevel || m.levelSince.IsZero() {
+		m.curLevel = level
+		m.levelSince = time.Now()
+	}
 	m.mu.Unlock()
 
 	m.gEWMA.Set(ewma)
@@ -193,10 +203,22 @@ func (m *Monitor) ResetBaseline() {
 	m.baseline, m.baseN, m.baseReady = 0, 0, false
 	m.ewma = 0
 	m.n, m.idx = 0, 0
+	m.curLevel, m.levelSince = 0, time.Now()
 	m.mu.Unlock()
 	m.gEWMA.Set(0)
 	m.gBaseline.Set(0)
 	m.gLevel.Set(0)
+}
+
+// LevelSince reports the current drift level (0 ok, 1 warn,
+// 2 retrain-recommended) and when that level started. Before any sample is
+// recorded the since time is zero. The autopilot uses this pair to require a
+// level to be *sustained* for a dwell window before triggering a retrain,
+// instead of reacting to a single noisy scrape.
+func (m *Monitor) LevelSince() (int, time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.curLevel, m.levelSince
 }
 
 // levelLocked maps the EWMA-vs-baseline ratio onto 0 (ok), 1 (warn),

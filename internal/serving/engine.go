@@ -106,16 +106,29 @@ type result struct {
 // with NewEngine, serve with Estimate/EstimateAll, stop with Close (which
 // drains queued requests before returning).
 type Engine struct {
-	cfg   Config
-	reg   *Registry
-	cache *estimateCache
-	plan  atomic.Pointer[planState] // compiled precision plan (nil plan = f64)
+	cfg    Config
+	reg    *Registry
+	cache  *estimateCache
+	plan   atomic.Pointer[planState] // compiled precision plan (nil plan = f64)
+	shadow atomic.Pointer[ShadowTap] // optional dual-run tap (nil = off)
 
 	q      chan *request
 	mu     sync.RWMutex // guards closed against concurrent submits
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// ShadowTap receives every freshly computed batch after its results have been
+// delivered: xs holds the encoded inputs (one row per live request) and live
+// the corresponding τ-sweep estimate curves served to clients. The autopilot
+// wires its shadow evaluator here to dual-run a sampled fraction of traffic
+// through a candidate model without affecting responses.
+//
+// The tap runs on the batch worker's hot path: it must return quickly (copy
+// the rows it wants to keep and hand off to its own goroutine) and must not
+// retain or mutate either matrix — the engine reuses nothing, but the slices
+// alias response data that was already delivered.
+type ShadowTap func(xs, live *tensor.Matrix)
 
 // NewEngine starts cfg.Workers batch workers over the registry's model and
 // hooks cache invalidation to registry swaps.
@@ -145,6 +158,16 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 
 // Registry exposes the engine's model registry (for the reload endpoint).
 func (e *Engine) Registry() *Registry { return e.reg }
+
+// SetShadowTap installs (or, with nil, removes) the batch shadow tap. Safe to
+// call concurrently with serving; the next batch sees the new tap.
+func (e *Engine) SetShadowTap(tap ShadowTap) {
+	if tap == nil {
+		e.shadow.Store(nil)
+		return
+	}
+	e.shadow.Store(&tap)
+}
 
 // CacheLen reports the number of cached estimates (0 when disabled).
 func (e *Engine) CacheLen() int {
@@ -409,5 +432,8 @@ func (e *Engine) run(batch []*request, batchStart time.Time, reason string) {
 	}
 	if e.cache != nil {
 		mCacheSize.Set(float64(e.cache.Len()))
+	}
+	if tp := e.shadow.Load(); tp != nil {
+		(*tp)(xs, all)
 	}
 }

@@ -70,6 +70,29 @@ func (o *EncodedOracle) CountEncoded(x []float64, tau int) (int, error) {
 	return o.ix.Count(q, float64(tau)), nil
 }
 
+// CurveEncoded returns the exact cumulative cardinality curve at every
+// transformed threshold τ ∈ [0, tauTop] in one index scan — the ground-truth
+// labels the serve-mode autopilot retrains and shadow-scores against
+// (CountEncoded called tauTop+1 times would rescan the dataset per τ).
+func (o *EncodedOracle) CurveEncoded(x []float64, tauTop int) ([]float64, error) {
+	if tauTop < 0 {
+		return nil, fmt.Errorf("simselect: negative tauTop %d", tauTop)
+	}
+	if len(x) != o.dim {
+		return nil, fmt.Errorf("simselect: query has %d bits, oracle indexes %d", len(x), o.dim)
+	}
+	q, err := EncodeBits(x)
+	if err != nil {
+		return nil, err
+	}
+	cum := o.ix.CountAtEach(q, tauTop)
+	curve := make([]float64, tauTop+1)
+	for i, c := range cum {
+		curve[i] = float64(c)
+	}
+	return curve, nil
+}
+
 // EncodeBits packs a strictly-binary float row into a BitVector.
 func EncodeBits(row []float64) (dist.BitVector, error) {
 	v := dist.NewBitVector(len(row))
